@@ -1,0 +1,337 @@
+(* Command-line driver: run any of the repository's agreement algorithms
+   on a simulated M&M cluster with a declarative fault schedule, and
+   print decisions, delay counts and substrate statistics.
+
+     dune exec bin/rdma_agreement.exe -- run fast-robust -n 3 -m 3
+     dune exec bin/rdma_agreement.exe -- run protected-paxos -n 2 -m 3 \
+         --crash-process 1@0.0 --crash-memory 2@1.5
+     dune exec bin/rdma_agreement.exe -- list *)
+
+open Cmdliner
+open Rdma_consensus
+
+type algorithm = {
+  name : string;
+  descr : string;
+  needs_memories : bool;
+  exec :
+    seed:int ->
+    n:int ->
+    m:int ->
+    inputs:string array ->
+    faults:Fault.t list ->
+    prepare:(string Rdma_mm.Cluster.t -> unit) ->
+    Report.t;
+}
+
+let algorithms =
+  [
+    {
+      name = "paxos";
+      descr = "classic Paxos (messages only, n >= 2f+1, 4 delays)";
+      needs_memories = false;
+      exec =
+        (fun ~seed ~n ~m:_ ~inputs ~faults ~prepare ->
+          Paxos.run ~seed ~n ~inputs ~faults ~prepare ());
+    };
+    {
+      name = "fast-paxos";
+      descr = "Fast Paxos (messages only, n >= 2f+1, 2 delays common case)";
+      needs_memories = false;
+      exec =
+        (fun ~seed ~n ~m:_ ~inputs ~faults ~prepare ->
+          Fast_paxos.run ~seed ~n ~inputs ~faults ~prepare ());
+    };
+    {
+      name = "disk-paxos";
+      descr = "Disk Paxos (memories only, n >= f+1, m >= 2fM+1, 4 delays)";
+      needs_memories = true;
+      exec =
+        (fun ~seed ~n ~m ~inputs ~faults ~prepare ->
+          Disk_paxos.run ~seed ~n ~m ~inputs ~faults ~prepare ());
+    };
+    {
+      name = "protected-paxos";
+      descr =
+        "Protected Memory Paxos (Algorithm 7: n >= f+1, m >= 2fM+1, 2 delays)";
+      needs_memories = true;
+      exec =
+        (fun ~seed ~n ~m ~inputs ~faults ~prepare ->
+          Protected_paxos.run ~seed ~n ~m ~inputs ~faults ~prepare ());
+    };
+    {
+      name = "aligned-paxos";
+      descr = "Aligned Paxos (Section 5.2: any minority of n+m agents may crash)";
+      needs_memories = true;
+      exec =
+        (fun ~seed ~n ~m ~inputs ~faults ~prepare ->
+          Aligned_paxos.run ~seed ~n ~m ~inputs ~faults ~prepare ());
+    };
+    {
+      name = "robust-backup";
+      descr = "Robust Backup (Theorem 4.4: Byzantine, n >= 2f+1, slow path)";
+      needs_memories = true;
+      exec =
+        (fun ~seed ~n ~m ~inputs ~faults ~prepare ->
+          fst (Robust_backup.run ~seed ~n ~m ~inputs ~faults ~prepare ()));
+    };
+    {
+      name = "fast-robust";
+      descr = "Fast & Robust (Theorem 4.9: Byzantine, n >= 2f+1, 2 delays)";
+      needs_memories = true;
+      exec =
+        (fun ~seed ~n ~m ~inputs ~faults ~prepare ->
+          let r, _, _ = Fast_robust.run ~seed ~n ~m ~inputs ~faults ~prepare () in
+          r);
+    };
+  ]
+
+let find_algorithm name = List.find_opt (fun a -> a.name = name) algorithms
+
+(* "pid@time" *)
+let event_conv =
+  let parse s =
+    match String.split_on_char '@' s with
+    | [ id; at ] -> (
+        match (int_of_string_opt id, float_of_string_opt at) with
+        | Some id, Some at -> Ok (id, at)
+        | _ -> Error (`Msg (Printf.sprintf "expected ID@TIME, got %s" s)))
+    | _ -> Error (`Msg (Printf.sprintf "expected ID@TIME, got %s" s))
+  in
+  let print ppf (id, at) = Fmt.pf ppf "%d@%.1f" id at in
+  Arg.conv (parse, print)
+
+let run_cmd =
+  let algo =
+    let doc = "Algorithm to run (see the list command)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ALGORITHM" ~doc)
+  in
+  let n =
+    let doc = "Number of processes." in
+    Arg.(value & opt int 3 & info [ "n"; "processes" ] ~doc)
+  in
+  let m =
+    let doc = "Number of memories." in
+    Arg.(value & opt int 3 & info [ "m"; "memories" ] ~doc)
+  in
+  let seed =
+    let doc = "Deterministic simulation seed." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+  in
+  let inputs =
+    let doc = "Proposed values (default v0..v(n-1))." in
+    Arg.(value & opt (list string) [] & info [ "inputs" ] ~doc)
+  in
+  let crash_procs =
+    let doc = "Crash process PID at TIME (repeatable), e.g. 1@2.5." in
+    Arg.(value & opt_all event_conv [] & info [ "crash-process" ] ~docv:"PID@TIME" ~doc)
+  in
+  let crash_mems =
+    let doc = "Crash memory MID at TIME (repeatable)." in
+    Arg.(value & opt_all event_conv [] & info [ "crash-memory" ] ~docv:"MID@TIME" ~doc)
+  in
+  let leaders =
+    let doc = "Point the leader oracle at PID at TIME (repeatable)." in
+    Arg.(value & opt_all event_conv [] & info [ "set-leader" ] ~docv:"PID@TIME" ~doc)
+  in
+  let gst =
+    let doc = "Asynchronous prefix: GST@EXTRA adds EXTRA delay before GST." in
+    Arg.(value & opt (some event_conv) None & info [ "async-until" ] ~docv:"GST@EXTRA" ~doc)
+  in
+  let trace =
+    let doc = "Print the I/O event trace (memory writes, permission changes, sends)." in
+    Arg.(value & opt (some int) None & info [ "trace" ] ~docv:"N" ~doc)
+  in
+  let action name n m seed inputs crash_procs crash_mems leaders gst trace =
+    match find_algorithm name with
+    | None ->
+        Fmt.epr "unknown algorithm %s; try the list command@." name;
+        exit 1
+    | Some algo ->
+        let inputs =
+          if inputs = [] then Array.init n (fun i -> Printf.sprintf "v%d" i)
+          else if List.length inputs = n then Array.of_list inputs
+          else begin
+            Fmt.epr "need exactly %d inputs@." n;
+            exit 1
+          end
+        in
+        let faults =
+          List.map (fun (pid, at) -> Fault.Crash_process { pid; at }) crash_procs
+          @ List.map (fun (mid, at) -> Fault.Crash_memory { mid; at }) crash_mems
+          @ List.map (fun (pid, at) -> Fault.Set_leader { pid; at }) leaders
+          @
+          match gst with
+          | Some (g, e) -> [ Fault.Async_until { gst = float_of_int g; extra = e } ]
+          | None -> []
+        in
+        let m = if algo.needs_memories then m else 0 in
+        let captured = ref None in
+        let prepare cluster =
+          if trace <> None then begin
+            captured := Some cluster;
+            Rdma_mm.Cluster.enable_io_trace cluster
+          end
+        in
+        let report = algo.exec ~seed ~n ~m ~inputs ~faults ~prepare in
+        Fmt.pr "algorithm : %s@." report.Report.algorithm;
+        Fmt.pr "cluster   : n=%d processes, m=%d memories, seed=%d@." n m seed;
+        if faults <> [] then
+          Fmt.pr "faults    : %a@." Fmt.(list ~sep:(any ", ") Fault.pp) faults;
+        Fmt.pr "@.decisions:@.";
+        Array.iteri
+          (fun pid d ->
+            match d with
+            | Some { Report.value; at } ->
+                Fmt.pr "  p%-2d %-20S at %6.1f delays@." pid value at
+            | None -> Fmt.pr "  p%-2d (no decision)@." pid)
+          report.Report.decisions;
+        Fmt.pr "@.agreement : %b@." (Report.agreement_ok report);
+        Fmt.pr "validity  : %b@." (Report.validity_ok report ~inputs);
+        (match Report.first_decision_time report with
+        | Some t -> Fmt.pr "first decision: %.1f delays@." t
+        | None -> Fmt.pr "first decision: -@.");
+        Fmt.pr "cost      : %d msgs, %d memory ops, %d signatures, %d sim events@."
+          report.Report.messages report.Report.mem_ops report.Report.signatures
+          report.Report.sim_steps;
+        match (trace, !captured) with
+        | Some limit, Some cluster ->
+            let events = Rdma_sim.Trace.events (Rdma_mm.Cluster.trace cluster) in
+            let total = List.length events in
+            Fmt.pr "@.I/O trace (first %d of %d events):@." (min limit total) total;
+            List.iteri
+              (fun i e ->
+                if i < limit then Fmt.pr "  %a@." Rdma_sim.Trace.pp_event e)
+              events
+        | _ -> ()
+  in
+  let doc = "Run one consensus instance under a fault schedule." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const action $ algo $ n $ m $ seed $ inputs $ crash_procs $ crash_mems $ leaders
+      $ gst $ trace)
+
+let fuzz_cmd =
+  let algo =
+    let doc = "Algorithm to fuzz (see the list command)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ALGORITHM" ~doc)
+  in
+  let runs =
+    let doc = "Number of randomized runs." in
+    Arg.(value & opt int 50 & info [ "runs" ] ~doc)
+  in
+  let n = Arg.(value & opt int 3 & info [ "n"; "processes" ] ~doc:"Processes.") in
+  let m = Arg.(value & opt int 3 & info [ "m"; "memories" ] ~doc:"Memories.") in
+  let action name runs n m =
+    match find_algorithm name with
+    | None ->
+        Fmt.epr "unknown algorithm %s; try the list command@." name;
+        exit 1
+    | Some algo ->
+        (* Randomized schedules drawn deterministically per seed: one
+           process crash at a random time, optionally one memory crash,
+           and random per-message latencies. *)
+        let violations = ref 0 in
+        let no_decision = ref 0 in
+        let inputs = Array.init n (fun i -> Printf.sprintf "v%d" i) in
+        let m = if algo.needs_memories then m else 0 in
+        for seed = 1 to runs do
+          let rng = Random.State.make [| seed; 0xF5 |] in
+          let faults =
+            [
+              Fault.Crash_process
+                { pid = Random.State.int rng n; at = Random.State.float rng 10.0 };
+              Fault.Random_latency
+                { min = 0.5; max = 1.5 +. Random.State.float rng 4.0 };
+            ]
+            @
+            if m > 0 && Random.State.bool rng then
+              [ Fault.Crash_memory
+                  { mid = Random.State.int rng m; at = Random.State.float rng 10.0 } ]
+            else []
+          in
+          let report =
+            algo.exec ~seed ~n ~m ~inputs ~faults ~prepare:(fun _ -> ())
+          in
+          if
+            (not (Report.agreement_ok report))
+            || not (Report.validity_ok report ~inputs)
+          then begin
+            incr violations;
+            Fmt.pr "VIOLATION at seed %d: %a@." seed
+              Fmt.(list ~sep:(any ", ") Fault.pp)
+              faults
+          end;
+          if Report.decided_count report = 0 then incr no_decision
+        done;
+        Fmt.pr "%d randomized runs of %s: %d safety violations, %d without decisions@."
+          runs name !violations !no_decision;
+        if !violations > 0 then exit 1
+  in
+  let doc = "Fuzz an algorithm with randomized crash/latency schedules." in
+  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const action $ algo $ runs $ n $ m)
+
+let log_cmd =
+  let kind =
+    let doc = "Log flavour: pmp-multi (crash model) or bft (Byzantine model)." in
+    Arg.(required & pos 0 (some (enum [ ("pmp-multi", `Pmp); ("bft", `Bft) ])) None
+        & info [] ~docv:"KIND" ~doc)
+  in
+  let slots =
+    let doc = "Number of log slots." in
+    Arg.(value & opt int 4 & info [ "slots" ] ~doc)
+  in
+  let n = Arg.(value & opt int 3 & info [ "n"; "processes" ] ~doc:"Processes.") in
+  let m = Arg.(value & opt int 3 & info [ "m"; "memories" ] ~doc:"Memories.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let crash_procs =
+    Arg.(value & opt_all event_conv []
+        & info [ "crash-process" ] ~docv:"PID@TIME" ~doc:"Crash process PID at TIME.")
+  in
+  let action kind slots n m seed crash_procs =
+    let faults =
+      List.map (fun (pid, at) -> Fault.Crash_process { pid; at }) crash_procs
+    in
+    let reports =
+      match kind with
+      | `Pmp ->
+          let cfg = { Protected_paxos_multi.default_config with slots } in
+          Protected_paxos_multi.run ~cfg ~seed ~n ~m ~faults
+            ~input_for:(fun ~pid ~instance -> Printf.sprintf "cmd%d.%d" pid instance)
+            ()
+      | `Bft ->
+          let cfg = { Rdma_smr.Bft_log.default_config with slots } in
+          fst
+            (Rdma_smr.Bft_log.run ~cfg ~seed ~n ~m ~faults
+               ~input_for:(fun ~pid ~slot -> Printf.sprintf "cmd%d.%d" pid slot)
+               ())
+    in
+    Fmt.pr "%-8s %-22s %-16s %-12s %-8s@." "slot" "decided value" "first (delays)"
+      "agreement" "decided";
+    Array.iteri
+      (fun i report ->
+        Fmt.pr "%-8d %-22s %-16s %-12b %d/%d@." i
+          (Option.value (Report.decision_value report) ~default:"-")
+          (match Report.first_decision_time report with
+          | Some t -> Printf.sprintf "%.1f" t
+          | None -> "-")
+          (Report.agreement_ok report)
+          (Report.decided_count report) n)
+      reports
+  in
+  let doc = "Run a replicated log (multi-instance consensus) and print per-slot results." in
+  Cmd.v (Cmd.info "log" ~doc)
+    Term.(const action $ kind $ slots $ n $ m $ seed $ crash_procs)
+
+let list_cmd =
+  let action () =
+    Fmt.pr "available algorithms:@.";
+    List.iter (fun a -> Fmt.pr "  %-16s %s@." a.name a.descr) algorithms
+  in
+  let doc = "List the available algorithms." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const action $ const ())
+
+let () =
+  let doc = "Consensus on simulated RDMA (The Impact of RDMA on Agreement, PODC'19)" in
+  let info = Cmd.info "rdma_agreement" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; fuzz_cmd; log_cmd; list_cmd ]))

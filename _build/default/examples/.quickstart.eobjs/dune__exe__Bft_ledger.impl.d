@@ -1,0 +1,1 @@
+examples/bft_ledger.ml: Array Bft_log Cheap_quorum Codec Fast_robust Fault Fmt Hashtbl List Option Printf Rdma_consensus Rdma_smr Report

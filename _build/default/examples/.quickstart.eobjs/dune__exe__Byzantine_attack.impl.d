@@ -1,0 +1,1 @@
+examples/byzantine_attack.ml: Array Attacks Cluster Fast_robust Fault Fmt Neb Network Rdma_consensus Rdma_mm Rdma_net Report

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Array Cluster Engine Fmt Kv List Printf Rdma_mm Rdma_sim Rdma_smr Smr_log

@@ -1,0 +1,1 @@
+examples/leader_failover.ml: Cluster Engine Fault Fmt Ivar List Memory Permission Protected_paxos Rdma_consensus Rdma_mem Rdma_mm Rdma_sim Report String

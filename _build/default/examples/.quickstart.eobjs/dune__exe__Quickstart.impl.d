@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Fast_robust Fmt Option Rdma_consensus Rdma_mm Rdma_sim Report

@@ -1,0 +1,1 @@
+examples/verbs_handover.ml: Array Engine Fmt Ivar Memory Network Printexc Printf Rdma_mem Rdma_net Rdma_sim Stats Verbs

@@ -1,0 +1,1 @@
+examples/verbs_handover.mli:

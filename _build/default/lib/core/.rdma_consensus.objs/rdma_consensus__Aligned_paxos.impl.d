@@ -1,0 +1,1 @@
+lib/core/aligned_paxos.ml: Array Cluster Codec Engine Fault Ivar List Mailbox Memclient Memory Network Omega Option Paxos Permission Printf Rdma_mem Rdma_mm Rdma_net Rdma_sim Report

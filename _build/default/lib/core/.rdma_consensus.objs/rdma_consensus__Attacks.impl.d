@@ -1,0 +1,1 @@
+lib/core/attacks.ml: Cheap_quorum Cluster Codec Engine Keychain Memclient Neb Paxos Permission Preferential_paxos Rdma_crypto Rdma_mem Rdma_mm Rdma_reg Rdma_sim Robust_backup

@@ -1,0 +1,1 @@
+lib/core/attacks.mli: Cluster Rdma_mm

@@ -1,0 +1,1 @@
+lib/core/cheap_quorum.ml: Array Cluster Codec Engine Fun Keychain List Memory Option Permission Printf Rdma_crypto Rdma_mem Rdma_mm Rdma_reg Rdma_sim String Swmr

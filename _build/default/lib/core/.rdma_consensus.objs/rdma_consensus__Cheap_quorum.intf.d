@@ -1,0 +1,1 @@
+lib/core/cheap_quorum.mli: Cluster Keychain Permission Rdma_crypto Rdma_mem Rdma_mm

@@ -1,0 +1,1 @@
+lib/core/disk_paxos.ml: Array Cluster Codec Engine Fault Fun Ivar List Memclient Memory Omega Option Par Permission Printf Rdma_mem Rdma_mm Rdma_sim Report

@@ -1,0 +1,1 @@
+lib/core/disk_paxos.mli: Cluster Fault Ivar Rdma_mm Rdma_sim Report

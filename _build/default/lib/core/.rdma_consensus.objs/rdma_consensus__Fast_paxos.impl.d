@@ -1,0 +1,1 @@
+lib/core/fast_paxos.ml: Array Cluster Codec Engine Fault Hashtbl Ivar List Mailbox Network Omega Option Rdma_mm Rdma_net Rdma_sim Report

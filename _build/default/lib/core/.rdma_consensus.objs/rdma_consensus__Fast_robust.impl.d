@@ -1,0 +1,1 @@
+lib/core/fast_robust.ml: Array Cheap_quorum Cluster Codec Engine Fault Ivar Keychain List Neb Preferential_paxos Printf Rdma_crypto Rdma_mm Rdma_sim Report Robust_backup Stats Trace Trusted

@@ -1,0 +1,1 @@
+lib/core/fast_robust.mli: Cheap_quorum Cluster Fault Ivar Keychain Preferential_paxos Rdma_crypto Rdma_mem Rdma_mm Rdma_sim Report

@@ -1,0 +1,1 @@
+lib/core/fault.ml: Cluster Engine Fmt List Network Omega Rdma_mm Rdma_net Rdma_sim

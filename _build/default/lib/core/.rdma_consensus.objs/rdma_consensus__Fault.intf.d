@@ -1,0 +1,1 @@
+lib/core/fault.mli: Cluster Format Rdma_mm

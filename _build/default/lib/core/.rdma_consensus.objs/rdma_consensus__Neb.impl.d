@@ -1,0 +1,1 @@
+lib/core/neb.ml: Array Cluster Codec Engine Fun Keychain List Printf Rdma_crypto Rdma_mem Rdma_mm Rdma_reg Rdma_sim String Swmr

@@ -1,0 +1,1 @@
+lib/core/neb.mli: Cluster Keychain Rdma_crypto Rdma_mm

@@ -1,0 +1,1 @@
+lib/core/paxos.ml: Array Cluster Codec Engine Fault Ivar List Mailbox Omega Option Rdma_mm Rdma_sim Report Transport

@@ -1,0 +1,1 @@
+lib/core/paxos.mli: Cluster Engine Fault Ivar Omega Rdma_mm Rdma_sim Report Transport

@@ -1,0 +1,1 @@
+lib/core/preferential_paxos.ml: Array Cluster Codec Engine Fault Hashtbl Ivar List Mailbox Rdma_mm Rdma_sim Report Robust_backup Trusted

@@ -1,0 +1,1 @@
+lib/core/preferential_paxos.mli: Cluster Fault Ivar Rdma_mm Rdma_sim Report Robust_backup

@@ -1,0 +1,1 @@
+lib/core/protected_paxos.ml: Array Cluster Codec Engine Fault Ivar List Memclient Memory Network Omega Par Permission Printf Rdma_mem Rdma_mm Rdma_net Rdma_sim Report

@@ -1,0 +1,1 @@
+lib/core/protected_paxos_multi.ml: Array Cluster Codec Engine Fault Fun Ivar List Memclient Memory Network Omega Option Par Permission Printf Protected_paxos Rdma_mem Rdma_mm Rdma_net Rdma_sim Report

@@ -1,0 +1,1 @@
+lib/core/protected_paxos_multi.mli: Cluster Fault Ivar Permission Rdma_mem Rdma_mm Rdma_sim Report

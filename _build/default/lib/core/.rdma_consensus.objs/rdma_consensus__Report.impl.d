@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Fmt Fun Hashtbl List Option Rdma_sim Stats String

@@ -1,0 +1,1 @@
+lib/core/robust_backup.ml: Array Cluster Codec Engine Fault Ivar List Mailbox Neb Paxos Rdma_mm Rdma_sim Report Trusted

@@ -1,0 +1,1 @@
+lib/core/robust_backup.mli: Cluster Fault Ivar Mailbox Paxos Rdma_mm Rdma_sim Report Trusted

@@ -1,0 +1,1 @@
+lib/core/transport.ml: Network Rdma_net

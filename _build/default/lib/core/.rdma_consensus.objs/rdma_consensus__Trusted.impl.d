@@ -1,0 +1,1 @@
+lib/core/trusted.ml: Array Cluster Codec Keychain Lazy List Neb Option Rdma_crypto Rdma_mm Rdma_sim Stats String

@@ -1,0 +1,1 @@
+lib/core/trusted.mli: Cluster Neb Rdma_mm

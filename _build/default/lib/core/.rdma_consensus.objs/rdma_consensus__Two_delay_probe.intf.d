@@ -1,0 +1,1 @@
+lib/core/two_delay_probe.mli:

@@ -1,0 +1,58 @@
+(** A library of Byzantine behaviours.
+
+    Each attack is an ordinary process program run with honest-process
+    capabilities only: it can write garbage, equivocate, replay, and lie,
+    but it cannot forge signatures, spoof senders, or bypass memory
+    permissions.  Tests, benches and examples run these against the
+    algorithms to check containment. *)
+
+open Rdma_mm
+
+(** {2 Attacks on non-equivocating broadcast} *)
+
+(** Broadcast a signed (1, m1), then overwrite the slot with a signed
+    (1, m2): readers expose the conflict during cross-checking. *)
+val neb_overwrite_equivocation : m1:string -> m2:string -> 'm Cluster.ctx -> unit
+
+(** Plant different signed values on different memory replicas of the
+    same slot. *)
+val neb_replica_equivocation : m1:string -> m2:string -> 'm Cluster.ctx -> unit
+
+(** {2 Attacks on Cheap Quorum} *)
+
+(** A Byzantine leader writing different signed values to different
+    replicas of the leader region. *)
+val cq_equivocating_leader : v1:string -> v2:string -> 'm Cluster.ctx -> unit
+
+(** A leader that proposes nothing: followers time out and panic. *)
+val cq_silent_leader : 'm Cluster.ctx -> unit
+
+(** A leader whose proposal carries a forged signature. *)
+val cq_forging_leader : value:string -> 'm Cluster.ctx -> unit
+
+(** A follower that revokes the leader's write permission immediately. *)
+val cq_early_revoker : 'm Cluster.ctx -> unit
+
+(** A follower that tries to take write access to the leader region for
+    itself (legalChange must refuse), then runs [then_]. *)
+val cq_permission_thief :
+  then_:('m Cluster.ctx -> unit) -> 'm Cluster.ctx -> unit
+
+(** {2 Attacks on Preferential Paxos / Robust Backup} *)
+
+(** Claim top (T) priority with fabricated evidence. *)
+val pp_priority_liar : value:string -> 'm Cluster.ctx -> unit
+
+(** Send a Promise citing an acceptance the history cannot justify. *)
+val rb_fabricated_promise : ballot:int -> value:string -> 'm Cluster.ctx -> unit
+
+(** Broadcast a Decide with no quorum behind it. *)
+val rb_spurious_decide : value:string -> 'm Cluster.ctx -> unit
+
+(** Broadcast an Accept without preparing or gathering a promise
+    quorum. *)
+val rb_unjustified_accept : ballot:int -> value:string -> 'm Cluster.ctx -> unit
+
+(** Answer the first Prepare with two different promises for the same
+    ballot. *)
+val rb_double_promise : 'm Cluster.ctx -> unit

@@ -1,0 +1,67 @@
+(* Canonical wire encoding for register contents and signed payloads.
+
+   Register values and signed messages travel as strings.  Fields are
+   joined with '|' after percent-escaping, so any byte sequence round
+   trips and signed payloads are canonical (no two field lists share an
+   encoding). *)
+
+(* The empty field escapes to "%e" so that the empty *list* can own the
+   empty encoding: join [] = "" and join [""] = "%e" stay distinct. *)
+let escape s =
+  if s = "" then "%e"
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '|' -> Buffer.add_string buf "%7c"
+        | '%' -> Buffer.add_string buf "%25"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
+let unescape s =
+  if s = "%e" then ""
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let i = ref 0 in
+    let len = String.length s in
+    while !i < len do
+      (if s.[!i] = '%' && !i + 2 < len then begin
+         match String.sub s (!i + 1) 2 with
+         | "7c" -> Buffer.add_char buf '|'; i := !i + 3
+         | "25" -> Buffer.add_char buf '%'; i := !i + 3
+         | _ -> Buffer.add_char buf s.[!i]; incr i
+       end
+       else begin
+         Buffer.add_char buf s.[!i];
+         incr i
+       end)
+    done;
+    Buffer.contents buf
+  end
+
+let join fields = String.concat "|" (List.map escape fields)
+
+let split s =
+  if s = "" then [] else List.map unescape (String.split_on_char '|' s)
+
+(* Fixed-arity helpers used by the protocol codecs; decoding failures
+   return [None] — a Byzantine process may write arbitrary bytes. *)
+
+let join2 a b = join [ a; b ]
+
+let join3 a b c = join [ a; b; c ]
+
+let join4 a b c d = join [ a; b; c; d ]
+
+let split2 s = match split s with [ a; b ] -> Some (a, b) | _ -> None
+
+let split3 s = match split s with [ a; b; c ] -> Some (a, b, c) | _ -> None
+
+let split4 s = match split s with [ a; b; c; d ] -> Some (a, b, c, d) | _ -> None
+
+let int_field i = string_of_int i
+
+let int_of_field s = int_of_string_opt s

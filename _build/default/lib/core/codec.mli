@@ -1,0 +1,26 @@
+(** Canonical wire encoding: '|'-joined, percent-escaped fields.  Any byte
+    sequence round trips; encodings are canonical. *)
+
+val escape : string -> string
+
+val unescape : string -> string
+
+val join : string list -> string
+
+val split : string -> string list
+
+val join2 : string -> string -> string
+
+val join3 : string -> string -> string -> string
+
+val join4 : string -> string -> string -> string -> string
+
+val split2 : string -> (string * string) option
+
+val split3 : string -> (string * string * string) option
+
+val split4 : string -> (string * string * string * string) option
+
+val int_field : int -> string
+
+val int_of_field : string -> int option

@@ -1,0 +1,33 @@
+(** Fast Paxos — the message-passing 2-deciding baseline (n ≥ 2fP + 1):
+    fast quorum = all n acceptors (e = 0), classic recovery under
+    failures. *)
+
+open Rdma_sim
+open Rdma_mm
+
+type config = {
+  recovery_timeout : float;  (** when the leader abandons the fast round *)
+  round_timeout : float;
+  max_rounds : int;
+  proposer_stagger : float;
+      (** followers hold their fast proposal back this long per pid *)
+}
+
+val default_config : config
+
+type handle
+
+val decision : handle -> Report.decision Ivar.t
+
+val spawn :
+  string Cluster.t -> ?cfg:config -> pid:int -> input:string -> unit -> handle
+
+val run :
+  ?cfg:config ->
+  ?seed:int ->
+  ?faults:Fault.t list ->
+  ?prepare:(string Cluster.t -> unit) ->
+  n:int ->
+  inputs:string array ->
+  unit ->
+  Report.t

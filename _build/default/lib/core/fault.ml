@@ -1,0 +1,50 @@
+(* Declarative fault schedules, applied to a cluster before a run.
+
+   These cover the model's failure and asynchrony knobs (Section 3):
+   process crashes, memory crashes, Ω behaviour, and the asynchronous
+   prefix of a partially synchronous execution. *)
+
+open Rdma_sim
+open Rdma_mm
+open Rdma_net
+
+type t =
+  | Crash_process of { pid : int; at : float }
+  | Crash_memory of { mid : int; at : float }
+  | Set_leader of { pid : int; at : float }
+  | Async_until of { gst : float; extra : float }
+      (* messages sent before [gst] take [extra] additional delay *)
+  | Random_latency of { min : float; max : float }
+      (* per-message latency in [min, max): messages may overtake each
+         other (links are not FIFO in the model) *)
+  | Crash_machine of { pid : int; mid : int; at : float }
+      (* a full-system crash (Section 7): the process and its co-located
+         memory fail at the same instant *)
+
+let apply cluster faults =
+  List.iter
+    (fun fault ->
+      match fault with
+      | Crash_process { pid; at } -> Cluster.crash_process_at cluster ~at pid
+      | Crash_memory { mid; at } -> Cluster.crash_memory_at cluster ~at mid
+      | Set_leader { pid; at } ->
+          Omega.set_leader_after (Cluster.omega cluster) at pid
+      | Async_until { gst; extra } ->
+          Network.set_gst (Cluster.net cluster) ~at:gst
+            ~extra:(fun ~src:_ ~dst:_ ~now:_ -> extra)
+      | Random_latency { min; max } ->
+          Network.randomize_latency (Cluster.net cluster)
+            ~rng:(Engine.rng (Cluster.engine cluster))
+            ~min ~max
+      | Crash_machine { pid; mid; at } ->
+          Cluster.crash_process_at cluster ~at pid;
+          Cluster.crash_memory_at cluster ~at mid)
+    faults
+
+let pp ppf = function
+  | Crash_process { pid; at } -> Fmt.pf ppf "crash p%d@%.1f" pid at
+  | Crash_memory { mid; at } -> Fmt.pf ppf "crash mu%d@%.1f" mid at
+  | Set_leader { pid; at } -> Fmt.pf ppf "leader:=p%d@%.1f" pid at
+  | Async_until { gst; extra } -> Fmt.pf ppf "async(+%.1f)until@%.1f" extra gst
+  | Random_latency { min; max } -> Fmt.pf ppf "latency~U[%.1f,%.1f)" min max
+  | Crash_machine { pid; mid; at } -> Fmt.pf ppf "crash machine(p%d,mu%d)@%.1f" pid mid at

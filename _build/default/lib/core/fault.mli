@@ -1,0 +1,20 @@
+(** Declarative fault schedules covering the model's failure and
+    asynchrony knobs (Section 3). *)
+
+open Rdma_mm
+
+type t =
+  | Crash_process of { pid : int; at : float }
+  | Crash_memory of { mid : int; at : float }
+  | Set_leader of { pid : int; at : float }
+  | Async_until of { gst : float; extra : float }
+  | Random_latency of { min : float; max : float }
+      (** per-message latency in [[min, max)]: messages may overtake each
+          other (links are not FIFO) *)
+  | Crash_machine of { pid : int; mid : int; at : float }
+      (** a full-system crash (Section 7): the process and its co-located
+          memory fail at the same instant *)
+
+val apply : 'm Cluster.t -> t list -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+(** Preferential Paxos (Algorithm 8, Lemma 4.7): a set-up phase in which
+    every process adopts the highest-priority input among n − fP
+    T-received ones, followed by Robust Backup(Paxos).  The decision is
+    always among the fP + 1 highest-priority inputs. *)
+
+open Rdma_sim
+open Rdma_mm
+
+(** Verified priority: maps (value, evidence) to a priority; unverifiable
+    evidence must get the bottom priority. *)
+type classify = value:string -> evidence:string -> int
+
+val no_priorities : classify
+
+type config = {
+  backup : Robust_backup.config;
+  f_p : int option;  (** default ⌊(n−1)/2⌋ *)
+  setup_timeout : float;
+}
+
+val default_config : config
+
+val encode_setup : value:string -> evidence:string -> string
+
+val decode_setup : string -> (string * string) option
+
+type handle
+
+val decision : handle -> Report.decision Ivar.t
+
+(** Must run inside the process's program fiber. *)
+val attach :
+  'm Cluster.ctx ->
+  ?cfg:config ->
+  ?classify:classify ->
+  value:string ->
+  evidence:string ->
+  unit ->
+  handle
+
+val run :
+  ?cfg:config ->
+  ?classify:classify ->
+  ?seed:int ->
+  ?faults:Fault.t list ->
+  ?prepare:(string Cluster.t -> unit) ->
+  ?byzantine:(int * (string Cluster.ctx -> unit)) list ->
+  n:int ->
+  m:int ->
+  inputs:(string * string) array ->
+  unit ->
+  Report.t * int list

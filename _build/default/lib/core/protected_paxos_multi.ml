@@ -1,0 +1,261 @@
+(* Repeated Protected Memory Paxos — the paper's multi-instance remark:
+
+     "the code shows one instance of consensus, with p1 as initial
+      leader.  With many consensus instances, the leader terminates one
+      instance and becomes the default leader in the next."
+
+   All instances share one region per memory (registers slot[i, q] for
+   instance i and process q), so one exclusive write permission covers
+   the whole sequence.  Leadership is organized in *reigns*:
+
+   - Taking over, a leader grabs the permission on every memory and
+     reads the entire region from a majority in a single batched RDMA
+     read per memory.  It adopts, per instance, the value with the
+     highest accepted proposal number, and picks its reign's proposal
+     number strictly above everything it saw (Algorithm 7 line 10).
+   - While the reign lasts (every write acked), each instance costs one
+     replicated write — two delays — whether it carries an adopted value
+     or the leader's own input: the permission has been held
+     continuously since the takeover read, so no rival value can exist
+     in any instance the read found empty.
+   - Any nak ends the reign; the process must take over again before
+     deciding anything else.
+
+   Safety is the single-shot argument applied per instance: a committed
+   (P, v) lies in a majority of memories; a later reign's takeover read
+   (behind the same permission fence) intersects it, adopts v, and
+   chooses a higher proposal number, so maxima never go backwards. *)
+
+open Rdma_sim
+open Rdma_mem
+open Rdma_mm
+open Rdma_net
+
+let region = "pmp-multi"
+
+let slot_reg ~instance q = Printf.sprintf "slot.%d.%d" instance q
+
+(* Slot contents reuse the single-shot codec. *)
+let encode_slot = Protected_paxos.encode_slot
+
+let decode_slot = Protected_paxos.decode_slot
+
+let legal_change ~pid ~region:r ~current:_ ~requested =
+  r = region
+  &&
+  match Permission.sole_writer requested with Some w -> w = pid | None -> false
+
+type config = {
+  slots : int;
+  f_m : int option;
+  max_takeovers : int;
+}
+
+let default_config = { slots = 4; f_m = None; max_takeovers = 32 }
+
+let all_registers cfg n =
+  List.concat_map
+    (fun i -> List.init n (fun q -> slot_reg ~instance:i q))
+    (List.init cfg.slots Fun.id)
+
+let setup_regions cluster cfg =
+  let n = Cluster.n cluster in
+  Cluster.add_region_everywhere cluster ~name:region
+    ~perm:(Permission.exclusive_writer ~writer:0 ~n)
+    ~registers:(all_registers cfg n)
+
+let encode_decide ~instance ~value = Codec.join3 "decide" (Codec.int_field instance) value
+
+let decode_decide s =
+  match Codec.split3 s with
+  | Some ("decide", inst, value) ->
+      Option.map (fun instance -> (instance, value)) (Codec.int_of_field inst)
+  | _ -> None
+
+type handle = { decisions : Report.decision Ivar.t array (* per instance *) }
+
+let decisions h = h.decisions
+
+let listener (ctx : _ Cluster.ctx) cfg (decisions : Report.decision Ivar.t array) =
+  let remaining = ref cfg.slots in
+  while !remaining > 0 do
+    let _, payload = Network.recv ctx.Cluster.ep in
+    match decode_decide payload with
+    | Some (instance, value) when instance >= 0 && instance < cfg.slots ->
+        if
+          Ivar.try_fill decisions.(instance)
+            { Report.value; at = Engine.now ctx.Cluster.ctx_engine }
+        then decr remaining
+    | _ -> ()
+  done
+
+(* Block until this process leads or the instance is decided. *)
+let await_leadership_or_decision (ctx : _ Cluster.ctx) decision =
+  let omega = ctx.Cluster.ctx_omega in
+  let me = ctx.Cluster.pid in
+  if Ivar.is_full decision || Omega.leader omega = me then ()
+  else
+    Engine.suspend (fun _eng _fiber resume ->
+        let settled = ref false in
+        let fire () =
+          if not !settled then begin
+            settled := true;
+            resume ()
+          end
+        in
+        Omega.on_change omega ~want:(fun pid -> pid = me) fire;
+        Ivar.on_fill decision (fun _ -> fire ()))
+
+(* The per-process reign state. *)
+type reign = {
+  mutable active : bool; (* permission believed held since the last read *)
+  mutable prop_nr : int;
+  mutable adopted : (int * string) option array; (* per instance *)
+}
+
+(* Take over: grab the permission on every memory and read the whole
+   region from a quorum.  On success, installs the reign (adopted values
+   + fresh proposal number above everything seen). *)
+let takeover (ctx : _ Cluster.ctx) cfg reign =
+  let n = ctx.Cluster.cluster_n in
+  let m = ctx.Cluster.cluster_m in
+  let me = ctx.Cluster.pid in
+  let client = ctx.Cluster.client in
+  let f_m = match cfg.f_m with Some f -> f | None -> (m - 1) / 2 in
+  let quorum = m - f_m in
+  let regs = all_registers cfg n in
+  let chains = Array.init m (fun _ -> Ivar.create ()) in
+  for i = 0 to m - 1 do
+    ctx.Cluster.spawn_sub
+      (Printf.sprintf "pmpm.takeover%d" i)
+      (fun () ->
+        ignore
+          (Memclient.change_permission client ~mem:i ~region
+             ~perm:(Permission.exclusive_writer ~writer:me ~n));
+        match
+          Ivar.await (Memory.read_many_async (Memclient.mem client i) ~from:me ~region ~regs)
+        with
+        | Memory.Read_many values -> Ivar.fill chains.(i) (Some values)
+        | Memory.Read_many_nak -> Ivar.fill chains.(i) None)
+  done;
+  let completed = Par.await_k chains quorum in
+  if List.exists (fun (_, v) -> v = None) completed then false
+  else begin
+    let adopted = Array.make cfg.slots None in
+    let max_seen = ref 0 in
+    List.iter
+      (fun (_, values) ->
+        match values with
+        | None -> ()
+        | Some values ->
+            (* registers are laid out instance-major, n per instance *)
+            Array.iteri
+              (fun idx v ->
+                match Option.bind v decode_slot with
+                | None -> ()
+                | Some (mp, ap, value) ->
+                    let instance = idx / n in
+                    if mp > !max_seen then max_seen := mp;
+                    if ap > !max_seen then max_seen := ap;
+                    if ap > 0 then
+                      match adopted.(instance) with
+                      | Some (b, _) when b >= ap -> ()
+                      | _ -> adopted.(instance) <- Some (ap, value))
+              values)
+      completed;
+    (* the smallest proposal number of ours above everything seen *)
+    let k = ref 1 in
+    while (!k * ctx.Cluster.cluster_n) + me + 1 <= !max_seen do
+      incr k
+    done;
+    reign.prop_nr <- (!k * ctx.Cluster.cluster_n) + me + 1;
+    reign.adopted <- adopted;
+    reign.active <- true;
+    true
+  end
+
+(* Decide one instance under an active reign: a single replicated write.
+   Returns false (and ends the reign) on any nak. *)
+let fast_decide (ctx : _ Cluster.ctx) cfg reign ~instance ~input decision =
+  let m = ctx.Cluster.cluster_m in
+  let f_m = match cfg.f_m with Some f -> f | None -> (m - 1) / 2 in
+  let quorum = m - f_m in
+  let value =
+    match reign.adopted.(instance) with Some (_, v) -> v | None -> input
+  in
+  let writes =
+    Memclient.write_all_async ctx.Cluster.client ~region
+      ~reg:(slot_reg ~instance ctx.Cluster.pid)
+      (encode_slot ~min_prop:reign.prop_nr ~acc_prop:reign.prop_nr ~value)
+  in
+  let completed = Par.await_k writes quorum in
+  if List.for_all (fun (_, w) -> w = Memory.Ack) completed then begin
+    ignore
+      (Ivar.try_fill decision { Report.value; at = Engine.now ctx.Cluster.ctx_engine });
+    Network.broadcast ctx.Cluster.ep (encode_decide ~instance ~value);
+    true
+  end
+  else begin
+    reign.active <- false;
+    false
+  end
+
+(* One process's program: instances strictly in order; the reign persists
+   across instances, so in steady state every decision is one write. *)
+let program (ctx : _ Cluster.ctx) cfg ~input_for handle =
+  ctx.Cluster.spawn_sub "pmpm.listener" (fun () -> listener ctx cfg handle.decisions);
+  let reign =
+    {
+      (* p0 owns the initial permission over an all-⊥ region: an implicit
+         first takeover with nothing adopted *)
+      active = ctx.Cluster.pid = 0;
+      prop_nr = 1;
+      adopted = Array.make cfg.slots None;
+    }
+  in
+  let takeovers = ref 0 in
+  for instance = 0 to cfg.slots - 1 do
+    let decision = handle.decisions.(instance) in
+    while not (Ivar.is_full decision) do
+      await_leadership_or_decision ctx decision;
+      if (not (Ivar.is_full decision))
+         && Omega.leader ctx.Cluster.ctx_omega = ctx.Cluster.pid
+      then begin
+        if not reign.active then begin
+          incr takeovers;
+          if !takeovers > cfg.max_takeovers then ignore (Ivar.await decision)
+          else if not (takeover ctx cfg reign) then Engine.sleep 2.0
+        end;
+        if reign.active && not (Ivar.is_full decision) then
+          ignore
+            (fast_decide ctx cfg reign ~instance ~input:(input_for ~instance) decision)
+      end
+    done
+  done
+
+let spawn cluster ?(cfg = default_config) ~pid ~input_for () =
+  let handle = { decisions = Array.init cfg.slots (fun _ -> Ivar.create ()) } in
+  Cluster.spawn cluster ~pid (fun ctx -> program ctx cfg ~input_for handle);
+  handle
+
+(* Run [cfg.slots] sequential decisions; [input_for ~pid ~instance]
+   supplies proposals.  Returns one report per instance. *)
+let run ?(cfg = default_config) ?(seed = 1) ?(faults = []) ?(prepare = fun _ -> ())
+    ~n ~m ~input_for () =
+  let cluster : string Cluster.t = Cluster.create ~seed ~legal_change ~n ~m () in
+  setup_regions cluster cfg;
+  let handles =
+    Array.init n (fun pid ->
+        spawn cluster ~cfg ~pid ~input_for:(fun ~instance -> input_for ~pid ~instance) ())
+  in
+  prepare cluster;
+  Fault.apply cluster faults;
+  Cluster.run cluster;
+  Cluster.check_errors cluster;
+  Array.init cfg.slots (fun instance ->
+      let decisions = Array.map (fun h -> Ivar.peek h.decisions.(instance)) handles in
+      Report.of_stats
+        ~algorithm:(Printf.sprintf "protected-paxos-multi[%d]" instance)
+        ~n ~m ~decisions
+        ~stats:(Cluster.stats cluster)
+        ~steps:(Engine.steps (Cluster.engine cluster)))

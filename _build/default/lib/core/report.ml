@@ -1,0 +1,90 @@
+(* Uniform run reports.
+
+   Every algorithm runner produces a [Report.t]: per-process decisions
+   with their virtual decision times (= delay counts, since one network
+   delay is the time unit), plus the substrate counters.  The property
+   checks used throughout the tests and benches live here too. *)
+
+open Rdma_sim
+
+type decision = { value : string; at : float }
+
+type t = {
+  algorithm : string;
+  n : int;
+  m : int;
+  decisions : decision option array;
+  messages : int;
+  mem_ops : int;
+  signatures : int;
+  verifications : int;
+  sim_steps : int;
+  wall_events : int;
+  named : (string * int) list; (* snapshot of the named counters *)
+}
+
+let of_stats ~algorithm ~n ~m ~decisions ~(stats : Stats.t) ~steps =
+  {
+    algorithm;
+    n;
+    m;
+    decisions;
+    messages = stats.Stats.messages_sent;
+    mem_ops = Stats.mem_ops stats;
+    signatures = stats.Stats.signatures;
+    verifications = stats.Stats.verifications;
+    sim_steps = steps;
+    wall_events = steps;
+    named =
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) stats.Stats.named []
+      |> List.sort compare;
+  }
+
+let named t key =
+  match List.assoc_opt key t.named with Some v -> v | None -> 0
+
+let decided t =
+  Array.to_list t.decisions |> List.filter_map Fun.id
+
+let decided_count t = List.length (decided t)
+
+(* Uniform agreement over the processes that decided; the caller excludes
+   Byzantine processes before building the report if needed. *)
+let agreement_ok ?(ignore_pids = []) t =
+  let values =
+    Array.to_list t.decisions
+    |> List.mapi (fun pid d -> (pid, d))
+    |> List.filter (fun (pid, _) -> not (List.mem pid ignore_pids))
+    |> List.filter_map (fun (_, d) -> Option.map (fun d -> d.value) d)
+  in
+  match List.sort_uniq String.compare values with [] | [ _ ] -> true | _ -> false
+
+(* Validity: every decision is some process's input. *)
+let validity_ok ?(ignore_pids = []) t ~inputs =
+  Array.to_list t.decisions
+  |> List.mapi (fun pid d -> (pid, d))
+  |> List.for_all (fun (pid, d) ->
+         List.mem pid ignore_pids
+         ||
+         match d with
+         | None -> true
+         | Some d -> Array.exists (String.equal d.value) inputs)
+
+(* Earliest decision time — the paper's "k-deciding" metric: some process
+   decides within k delays. *)
+let first_decision_time t =
+  decided t |> List.map (fun d -> d.at)
+  |> function [] -> None | ts -> Some (List.fold_left min infinity ts)
+
+let last_decision_time t =
+  decided t |> List.map (fun d -> d.at)
+  |> function [] -> None | ts -> Some (List.fold_left max neg_infinity ts)
+
+let decision_value t =
+  match decided t with [] -> None | d :: _ -> Some d.value
+
+let pp ppf t =
+  Fmt.pf ppf "%s n=%d m=%d decided=%d/%d first=%a msgs=%d memops=%d signs=%d"
+    t.algorithm t.n t.m (decided_count t) t.n
+    Fmt.(option ~none:(any "-") (fmt "%.1f"))
+    (first_decision_time t) t.messages t.mem_ops t.signatures

@@ -1,0 +1,51 @@
+(** Uniform run reports: per-process decisions with virtual decision times
+    (= delay counts) and substrate counters. *)
+
+open Rdma_sim
+
+type decision = { value : string; at : float }
+
+type t = {
+  algorithm : string;
+  n : int;
+  m : int;
+  decisions : decision option array;
+  messages : int;
+  mem_ops : int;
+  signatures : int;
+  verifications : int;
+  sim_steps : int;
+  wall_events : int;
+  named : (string * int) list;  (** snapshot of the named counters *)
+}
+
+val of_stats :
+  algorithm:string ->
+  n:int ->
+  m:int ->
+  decisions:decision option array ->
+  stats:Stats.t ->
+  steps:int ->
+  t
+
+(** Look up a named counter (0 if absent). *)
+val named : t -> string -> int
+
+val decided : t -> decision list
+
+val decided_count : t -> int
+
+(** Uniform agreement among deciders outside [ignore_pids]. *)
+val agreement_ok : ?ignore_pids:int list -> t -> bool
+
+(** Every decision (outside [ignore_pids]) is some process's input. *)
+val validity_ok : ?ignore_pids:int list -> t -> inputs:string array -> bool
+
+(** Earliest decision time — the paper's "k-deciding" metric. *)
+val first_decision_time : t -> float option
+
+val last_decision_time : t -> float option
+
+val decision_value : t -> string option
+
+val pp : Format.formatter -> t -> unit

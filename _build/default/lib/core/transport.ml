@@ -1,0 +1,46 @@
+(* Transport abstraction.
+
+   Classic Paxos runs over the raw network; Robust Backup runs the *same*
+   Paxos code over trusted channels (T-send/T-receive, Algorithm 3).
+   Abstracting the transport is exactly the paper's Definition 2: "the
+   algorithm A in which all send and receive operations are replaced by
+   T-send and T-receive". *)
+
+module type S = sig
+  type t
+
+  val me : t -> int
+
+  val n : t -> int
+
+  (** Point-to-point send (dst may be [me]). *)
+  val send : t -> dst:int -> string -> unit
+
+  val broadcast : t -> string -> unit
+
+  (** Blocking receive: [(sender, payload)]. *)
+  val recv : t -> int * string
+
+  val recv_timeout : t -> float -> (int * string) option
+end
+
+(* The raw network transport. *)
+module Net = struct
+  open Rdma_net
+
+  type t = { ep : string Network.endpoint; n : int }
+
+  let make ~ep ~n = { ep; n }
+
+  let me t = Network.endpoint_pid t.ep
+
+  let n t = t.n
+
+  let send t ~dst payload = Network.send t.ep ~dst payload
+
+  let broadcast t payload = Network.broadcast t.ep payload
+
+  let recv t = Network.recv t.ep
+
+  let recv_timeout t delay = Network.recv_timeout t.ep delay
+end

@@ -1,0 +1,133 @@
+(* An executable rendition of Theorem 6.1: with static permissions,
+   shared memory alone admits no 2-deciding consensus.
+
+   The proof is an indistinguishability argument.  We make it concrete:
+
+   - [Candidate]: the natural "optimistic" 2-deciding attempt.  A
+     proposer fires its register writes and its reads of everyone else's
+     registers *simultaneously* (it must — any dependency would exceed
+     two delays, since one operation already costs two).  If the reads
+     all return ⊥ it concludes it ran alone and decides its own value;
+     otherwise it falls back (adopting the smallest-id proposal it saw).
+
+   - [run_synchronous]: under the common-case schedule the candidate is
+     indeed 2-deciding and agreement holds — the candidate is not a straw
+     man in good executions.
+
+   - [run_adversarial]: the schedule from the proof of Theorem 6.1.
+     p's reads all return by time t0, but its writes linger in flight
+     (asynchrony permits this).  p' starts after t0 and runs alone to a
+     decision — nothing p did is visible, so p' is in an execution
+     indistinguishable from a solo run and must decide its own value.
+     Then p's writes land and its ⊥-reads force it to decide its own
+     value too: agreement is violated.  No static-permission algorithm
+     can escape this trap; dynamic permissions break the
+     indistinguishability because p' would have *revoked* p's write
+     permission, turning p's lingering write into a nak (exactly what
+     Protected Memory Paxos and Cheap Quorum exploit).
+
+   The registers here are deliberately minimal — static-permission
+   shared memory with per-operation delays chosen by the scheduler —
+   because the theorem quantifies over all algorithms in that model; the
+   probe instantiates the two schedules the proof composes. *)
+
+open Rdma_sim
+
+type result = {
+  decisions : (int * string * float) list; (* (pid, value, time) *)
+  agreement_violated : bool;
+  first_decision_at : float;
+}
+
+(* A static-permission SWMR register whose per-operation delays the
+   scheduler dictates. *)
+type register = { mutable content : string option }
+
+let write engine reg value ~request_delay ~response_delay k =
+  Engine.schedule engine request_delay (fun () ->
+      reg.content <- Some value;
+      Engine.schedule engine response_delay k)
+
+let read engine reg ~request_delay ~response_delay k =
+  Engine.schedule engine request_delay (fun () ->
+      let v = reg.content in
+      Engine.schedule engine response_delay (fun () -> k v))
+
+(* The candidate algorithm for process [me] with input [v]:
+   simultaneously write own register and read the other's; decide on the
+   reads' answers. *)
+let candidate engine ~me ~own ~other ~input ~wdelay ~rdelay ~decide =
+  let wreq, wresp = wdelay in
+  let rreq, rresp = rdelay in
+  write engine own input ~request_delay:wreq ~response_delay:wresp (fun () -> ());
+  read engine other ~request_delay:rreq ~response_delay:rresp (fun seen ->
+      match seen with
+      | None -> decide ~pid:me ~value:input
+      | Some v -> decide ~pid:me ~value:(min v input))
+
+let collect_run schedule =
+  let engine = Engine.create () in
+  let decisions = ref [] in
+  let decide ~pid ~value =
+    decisions := (pid, value, Engine.now engine) :: !decisions
+  in
+  schedule engine decide;
+  Engine.run engine;
+  let decisions = List.rev !decisions in
+  let values = List.sort_uniq compare (List.map (fun (_, v, _) -> v) decisions) in
+  {
+    decisions;
+    agreement_violated = List.length values > 1;
+    first_decision_at =
+      List.fold_left (fun acc (_, _, t) -> min acc t) infinity decisions;
+  }
+
+(* Common case: both operations take one delay each way; p1 runs late
+   enough to see p0's write.  The candidate decides in 2 delays and
+   agreement holds. *)
+let run_synchronous () =
+  collect_run (fun engine decide ->
+      let r0 = { content = None } and r1 = { content = None } in
+      candidate engine ~me:0 ~own:r0 ~other:r1 ~input:"v0" ~wdelay:(1.0, 1.0)
+        ~rdelay:(1.0, 1.0) ~decide;
+      Engine.schedule engine 5.0 (fun () ->
+          candidate engine ~me:1 ~own:r1 ~other:r0 ~input:"v1" ~wdelay:(1.0, 1.0)
+            ~rdelay:(1.0, 1.0) ~decide))
+
+(* The Theorem 6.1 schedule: p0's reads are prompt, its write lingers 50
+   time units in flight; p1 runs solo in the gap. *)
+let run_adversarial () =
+  collect_run (fun engine decide ->
+      let r0 = { content = None } and r1 = { content = None } in
+      candidate engine ~me:0 ~own:r0 ~other:r1 ~input:"v0" ~wdelay:(50.0, 1.0)
+        ~rdelay:(1.0, 1.0) ~decide;
+      Engine.schedule engine 5.0 (fun () ->
+          candidate engine ~me:1 ~own:r1 ~other:r0 ~input:"v1" ~wdelay:(1.0, 1.0)
+            ~rdelay:(1.0, 1.0) ~decide))
+
+(* The same lingering-write schedule against a *dynamic-permission*
+   algorithm shape: before p1 reads, it revokes p0's write permission
+   (as Protected Memory Paxos does), so p0's delayed write naks and p0
+   does not decide blindly.  We model the revocation as a flag the
+   register honours. *)
+let run_adversarial_with_revocation () =
+  collect_run (fun engine decide ->
+      let r0 = { content = None } in
+      let p0_write_allowed = ref true in
+      (* p0: optimistic write+read, but only decides alone if its write
+         was (reported) successful — the uncontended-instantaneous
+         guarantee. *)
+      let wreq, wresp = (50.0, 1.0) in
+      Engine.schedule engine wreq (fun () ->
+          let ok = !p0_write_allowed in
+          if ok then r0.content <- Some "v0";
+          Engine.schedule engine wresp (fun () ->
+              if ok then decide ~pid:0 ~value:"v0"
+              (* else: nak — p0 falls back to asking the new leader *)));
+      Engine.schedule engine 5.0 (fun () ->
+          (* p1 revokes, then reads, then decides *)
+          p0_write_allowed := false;
+          read engine r0 ~request_delay:1.0 ~response_delay:1.0 (fun seen ->
+              match seen with
+              | None -> decide ~pid:1 ~value:"v1"
+              | Some v -> decide ~pid:1 ~value:(min v "v1"))))

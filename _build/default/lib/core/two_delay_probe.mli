@@ -1,0 +1,21 @@
+(** Theorem 6.1, executable: with static permissions, shared memory
+    admits no 2-deciding consensus.  The probe runs the natural
+    optimistic candidate under (a) the common-case schedule, (b) the
+    proof's adversarial schedule, and (c) the same adversarial schedule
+    with dynamic-permission revocation. *)
+
+type result = {
+  decisions : (int * string * float) list;  (** (pid, value, time) *)
+  agreement_violated : bool;
+  first_decision_at : float;
+}
+
+(** Common case: the candidate is 2-deciding and agreement holds. *)
+val run_synchronous : unit -> result
+
+(** The Theorem 6.1 schedule: agreement is violated. *)
+val run_adversarial : unit -> result
+
+(** Same schedule, but the late process revokes the first one's write
+    permission before reading: agreement is restored. *)
+val run_adversarial_with_revocation : unit -> result

@@ -1,0 +1,1 @@
+lib/crypto/keychain.ml: Array Char Hmac Printf Sha256 String

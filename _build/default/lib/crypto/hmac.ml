@@ -1,0 +1,27 @@
+(* HMAC-SHA256 (RFC 2104), validated against the RFC 4231 test vectors. *)
+
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest_string key else key in
+  if String.length key = block_size then key
+  else key ^ String.make (block_size - String.length key) '\x00'
+
+let xor_pad key byte =
+  String.init block_size (fun i -> Char.chr (Char.code key.[i] lxor byte))
+
+let mac ~key message =
+  let key = normalize_key key in
+  let inner = Sha256.digest_string (xor_pad key 0x36 ^ message) in
+  Sha256.digest_string (xor_pad key 0x5c ^ inner)
+
+let mac_hex ~key message = Sha256.to_hex (mac ~key message)
+
+(* Constant-time-style comparison; not security-critical in a simulation
+   but cheap to do right. *)
+let equal a b =
+  String.length a = String.length b
+  &&
+  let diff = ref 0 in
+  String.iteri (fun i c -> diff := !diff lor (Char.code c lxor Char.code b.[i])) a;
+  !diff = 0

@@ -1,0 +1,9 @@
+(** HMAC-SHA256 (RFC 2104). *)
+
+(** [mac ~key message] is the 32-byte MAC. *)
+val mac : key:string -> string -> string
+
+val mac_hex : key:string -> string -> string
+
+(** Timing-safe digest comparison. *)
+val equal : string -> string -> bool

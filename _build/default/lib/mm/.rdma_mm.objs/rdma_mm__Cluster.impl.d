@@ -1,0 +1,1 @@
+lib/mm/cluster.ml: Array Engine Fun Keychain List Memclient Memory Network Omega Permission Printexc Printf Rdma_crypto Rdma_mem Rdma_net Rdma_sim Stats Trace

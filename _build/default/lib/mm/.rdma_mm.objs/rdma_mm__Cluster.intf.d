@@ -1,0 +1,1 @@
+lib/mm/cluster.mli: Engine Keychain Memclient Memory Network Omega Permission Rdma_crypto Rdma_mem Rdma_net Rdma_sim Stats Trace

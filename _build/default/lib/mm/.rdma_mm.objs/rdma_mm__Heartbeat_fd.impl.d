@@ -1,0 +1,1 @@
+lib/mm/heartbeat_fd.ml: Array Engine List Network Printf Rdma_net Rdma_sim

@@ -1,0 +1,1 @@
+lib/mm/heartbeat_fd.mli: Engine Network Rdma_net Rdma_sim

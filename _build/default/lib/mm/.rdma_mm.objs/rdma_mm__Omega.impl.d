@@ -1,0 +1,1 @@
+lib/mm/omega.ml: Engine List Rdma_sim

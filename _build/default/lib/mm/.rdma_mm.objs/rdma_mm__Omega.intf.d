@@ -1,0 +1,1 @@
+lib/mm/omega.mli: Engine Rdma_sim

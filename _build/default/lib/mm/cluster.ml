@@ -1,0 +1,221 @@
+(* A complete simulated M&M system: n processes, m memories, a network,
+   signatures, and an Ω oracle, with fault injection.
+
+   ['m] is the algorithm's message type.  Each algorithm run builds one
+   cluster, registers regions on the memories, spawns its process
+   programs, injects the schedule's faults, and runs the engine to
+   quiescence. *)
+
+open Rdma_sim
+open Rdma_mem
+open Rdma_net
+open Rdma_crypto
+
+type 'm t = {
+  engine : Engine.t;
+  stats : Stats.t;
+  trace : Trace.t;
+  n : int;
+  m : int;
+  keychain : Keychain.t;
+  memories : Memory.t array;
+  net : 'm Network.t;
+  omega : Omega.t;
+  fibers : Engine.fiber option array;
+  sub_fibers : Engine.fiber list array;
+  crashed : bool array;
+  byzantine : bool array;
+  mutable auto_leader : bool;
+      (* on leader crash, Ω repoints to the lowest-id correct process
+         after [detection_delay] *)
+  mutable detection_delay : float;
+}
+
+(* The capability bundle handed to a process program.  This is all a
+   program (honest or Byzantine) ever sees of the system. *)
+type 'm ctx = {
+  pid : int;
+  cluster_n : int;
+  cluster_m : int;
+  ctx_engine : Engine.t;
+  client : Memclient.t;
+  ep : 'm Network.endpoint;
+  signer : Keychain.signer;
+  chain : Keychain.t;
+  ctx_omega : Omega.t;
+  ctx_stats : Stats.t;
+  ctx_trace : Trace.t;
+  (* Spawn an auxiliary fiber belonging to this process: it dies with the
+     process when a crash is injected. *)
+  spawn_sub : string -> (unit -> unit) -> unit;
+}
+
+let create ?(seed = 1) ?(max_steps = 20_000_000) ?(latency = 1.0)
+    ?(legal_change = Permission.static_permissions) ?(initial_leader = 0) ~n ~m () =
+  let engine = Engine.create ~max_steps ~seed () in
+  let stats = Stats.create () in
+  let trace = Trace.create () in
+  let keychain = Keychain.create ~seed ~n () in
+  Keychain.set_hooks keychain
+    ~on_sign:(fun pid ->
+      Stats.incr_signatures stats;
+      Stats.bump stats (Printf.sprintf "sigs.p%d" pid))
+    ~on_verify:(fun () -> Stats.incr_verifications stats);
+  let memories =
+    Array.init m (fun mid ->
+        Memory.create ~one_way:(latency *. 1.0) ~legal_change ~engine ~stats ~mid ())
+  in
+  let net = Network.create ~latency ~engine ~stats ~n () in
+  let omega = Omega.create ~engine ~initial:initial_leader in
+  {
+    engine;
+    stats;
+    trace;
+    n;
+    m;
+    keychain;
+    memories;
+    net;
+    omega;
+    fibers = Array.make n None;
+    sub_fibers = Array.make n [];
+    crashed = Array.make n false;
+    byzantine = Array.make n false;
+    auto_leader = true;
+    detection_delay = 8.0;
+  }
+
+let engine t = t.engine
+
+let stats t = t.stats
+
+let trace t = t.trace
+
+let n t = t.n
+
+let m t = t.m
+
+let memories t = t.memories
+
+let memory t i = t.memories.(i)
+
+let net t = t.net
+
+let omega t = t.omega
+
+let keychain t = t.keychain
+
+let set_auto_leader t flag = t.auto_leader <- flag
+
+(* Record every memory write/permission change and every message send
+   into the cluster trace — heavyweight; for debugging and the CLI's
+   --trace flag. *)
+let enable_io_trace t =
+  Array.iter
+    (fun mem ->
+      Memory.set_tracer mem (fun line ->
+          Trace.record t.trace ~at:(Engine.now t.engine)
+            ~actor:(Printf.sprintf "mu%d" (Memory.id mem))
+            line))
+    t.memories;
+  Network.set_tracer t.net (fun ~src ~dst ->
+      Trace.recordf t.trace ~at:(Engine.now t.engine)
+        ~actor:(Printf.sprintf "p%d" src)
+        "send -> p%d" dst)
+
+let set_detection_delay t d = t.detection_delay <- d
+
+(* Create the same region (name, permission, registers) on every memory —
+   the replicated layout all the paper's algorithms use. *)
+let add_region_everywhere t ~name ~perm ~registers =
+  Array.iter (fun mem -> Memory.add_region mem ~name ~perm ~registers) t.memories
+
+let ctx t pid =
+  let spawn_sub name f =
+    if not t.crashed.(pid) then begin
+      let fiber = Engine.spawn t.engine (Printf.sprintf "p%d.%s" pid name) f in
+      t.sub_fibers.(pid) <- fiber :: t.sub_fibers.(pid)
+    end
+  in
+  {
+    pid;
+    cluster_n = t.n;
+    cluster_m = t.m;
+    ctx_engine = t.engine;
+    client = Memclient.create ~pid ~memories:t.memories;
+    ep = Network.endpoint t.net pid;
+    signer = Keychain.signer t.keychain pid;
+    chain = t.keychain;
+    ctx_omega = t.omega;
+    ctx_stats = t.stats;
+    ctx_trace = t.trace;
+    spawn_sub;
+  }
+
+let spawn t ~pid program =
+  if t.fibers.(pid) <> None then invalid_arg "Cluster.spawn: pid already running";
+  let c = ctx t pid in
+  let fiber = Engine.spawn t.engine (Printf.sprintf "p%d" pid) (fun () -> program c) in
+  t.fibers.(pid) <- Some fiber
+
+(* Spawn a process running an adversarial program.  It gets the same
+   capabilities as an honest process — no more: it cannot forge
+   signatures, spoof senders, or bypass memory permissions. *)
+let spawn_byzantine t ~pid program =
+  t.byzantine.(pid) <- true;
+  spawn t ~pid program
+
+let is_byzantine t pid = t.byzantine.(pid)
+
+let is_crashed t pid = t.crashed.(pid)
+
+let correct_pids t =
+  List.filter
+    (fun p -> (not t.crashed.(p)) && not t.byzantine.(p))
+    (List.init t.n Fun.id)
+
+let crash_process t pid =
+  if not t.crashed.(pid) then begin
+    t.crashed.(pid) <- true;
+    (match t.fibers.(pid) with Some f -> Engine.cancel f | None -> ());
+    List.iter Engine.cancel t.sub_fibers.(pid);
+    Trace.recordf t.trace ~at:(Engine.now t.engine) ~actor:(Printf.sprintf "p%d" pid)
+      "CRASH";
+    (* Eventually-accurate failure detection: after the detection delay,
+       if Ω still points at a crashed process, repoint to the lowest-id
+       live one.  Choosing the target at fire time (not now) keeps Ω
+       correct when several processes crash together. *)
+    if t.auto_leader then
+      Engine.schedule t.engine t.detection_delay (fun () ->
+          if t.crashed.(Omega.leader t.omega) then begin
+            let alive =
+              List.filter (fun p -> not t.crashed.(p)) (List.init t.n Fun.id)
+            in
+            match alive with
+            | [] -> ()
+            | next :: _ -> Omega.set_leader t.omega next
+          end)
+  end
+
+let crash_process_at t ~at pid =
+  Engine.schedule t.engine (max 0. (at -. Engine.now t.engine)) (fun () ->
+      crash_process t pid)
+
+let crash_memory t mid =
+  Memory.crash t.memories.(mid);
+  Trace.recordf t.trace ~at:(Engine.now t.engine) ~actor:(Printf.sprintf "mu%d" mid)
+    "MEMORY CRASH"
+
+let crash_memory_at t ~at mid =
+  Engine.schedule t.engine (max 0. (at -. Engine.now t.engine)) (fun () ->
+      crash_memory t mid)
+
+let run t = Engine.run t.engine
+
+(* Re-raise the first exception that escaped a fiber, if any — tests call
+   this so assertion failures inside process programs fail the test. *)
+let check_errors t =
+  match List.rev (Engine.errors t.engine) with
+  | [] -> ()
+  | (name, e) :: _ ->
+      failwith (Printf.sprintf "fiber %s raised: %s" name (Printexc.to_string e))

@@ -1,0 +1,105 @@
+(** A complete simulated M&M system: n processes, m memories, network,
+    signatures, Ω, and fault injection.  ['m] is the algorithm's message
+    type. *)
+
+open Rdma_sim
+open Rdma_mem
+open Rdma_net
+open Rdma_crypto
+
+type 'm t
+
+(** Capability bundle handed to a process program — all a program (honest
+    or Byzantine) ever sees of the system. *)
+type 'm ctx = {
+  pid : int;
+  cluster_n : int;
+  cluster_m : int;
+  ctx_engine : Engine.t;
+  client : Memclient.t;
+  ep : 'm Network.endpoint;
+  signer : Keychain.signer;
+  chain : Keychain.t;
+  ctx_omega : Omega.t;
+  ctx_stats : Stats.t;
+  ctx_trace : Trace.t;
+  spawn_sub : string -> (unit -> unit) -> unit;
+      (** Spawn an auxiliary fiber belonging to this process; it dies with
+          the process when a crash is injected. *)
+}
+
+val create :
+  ?seed:int ->
+  ?max_steps:int ->
+  ?latency:float ->
+  ?legal_change:Permission.legal_change ->
+  ?initial_leader:int ->
+  n:int ->
+  m:int ->
+  unit ->
+  'm t
+
+val engine : 'm t -> Engine.t
+
+val stats : 'm t -> Stats.t
+
+val trace : 'm t -> Trace.t
+
+val n : 'm t -> int
+
+val m : 'm t -> int
+
+val memories : 'm t -> Memory.t array
+
+val memory : 'm t -> int -> Memory.t
+
+val net : 'm t -> 'm Network.t
+
+val omega : 'm t -> Omega.t
+
+val keychain : 'm t -> Keychain.t
+
+(** Record every memory write/permission change and message send into
+    the cluster trace (heavyweight; for debugging). *)
+val enable_io_trace : 'm t -> unit
+
+(** Whether Ω automatically repoints to the lowest-id live process when the
+    current leader crashes (default true). *)
+val set_auto_leader : 'm t -> bool -> unit
+
+(** Failure-detection delay for the automatic Ω (default 8.0). *)
+val set_detection_delay : 'm t -> float -> unit
+
+(** Create the same region on every memory — the replicated layout the
+    paper's algorithms use. *)
+val add_region_everywhere :
+  'm t -> name:string -> perm:Rdma_mem.Permission.t -> registers:string list -> unit
+
+(** Build the capability bundle for [pid] without spawning (for tests). *)
+val ctx : 'm t -> int -> 'm ctx
+
+val spawn : 'm t -> pid:int -> ('m ctx -> unit) -> unit
+
+(** Spawn an adversarial program with ordinary capabilities: it cannot
+    forge signatures, spoof senders, or bypass memory permissions. *)
+val spawn_byzantine : 'm t -> pid:int -> ('m ctx -> unit) -> unit
+
+val is_byzantine : 'm t -> int -> bool
+
+val is_crashed : 'm t -> int -> bool
+
+val correct_pids : 'm t -> int list
+
+val crash_process : 'm t -> int -> unit
+
+val crash_process_at : 'm t -> at:float -> int -> unit
+
+val crash_memory : 'm t -> int -> unit
+
+val crash_memory_at : 'm t -> at:float -> int -> unit
+
+(** Run the engine to quiescence. *)
+val run : 'm t -> unit
+
+(** Re-raise the first exception that escaped a fiber, if any. *)
+val check_errors : 'm t -> unit

@@ -1,0 +1,32 @@
+(** The Ω leader oracle — the standard liveness assumption (Section 3). *)
+
+open Rdma_sim
+
+type t
+
+val create : engine:Engine.t -> initial:int -> t
+
+(** The currently trusted leader. *)
+val leader : t -> int
+
+(** Leadership changes as [(time, leader)] pairs, oldest first. *)
+val history : t -> (float * int) list
+
+val set_leader : t -> int -> unit
+
+(** Change leadership [delay] time units from now. *)
+val set_leader_after : t -> float -> int -> unit
+
+(** Block the calling fiber until this process is leader
+    (Algorithm 7 line 9). *)
+val wait_until_leader : t -> me:int -> unit
+
+(** Block until the leader differs from [prev]. *)
+val wait_for_change : t -> prev:int -> unit
+
+(** Block while [unwanted leader] holds. *)
+val wait_while : t -> unwanted:(int -> bool) -> unit
+
+(** One-shot callback at the first leadership change to a pid satisfying
+    [want] (not retroactive). *)
+val on_change : t -> want:(int -> bool) -> (unit -> unit) -> unit

@@ -1,0 +1,1 @@
+lib/network/network.ml: Array Engine List Mailbox Random Rdma_sim Stats

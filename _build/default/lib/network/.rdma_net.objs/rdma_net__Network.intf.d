@@ -1,0 +1,1 @@
+lib/network/network.mli: Engine Random Rdma_sim Stats

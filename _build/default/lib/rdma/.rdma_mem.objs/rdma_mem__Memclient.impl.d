@@ -1,0 +1,1 @@
+lib/rdma/memclient.ml: Array Ivar List Memory Option Par Rdma_sim

@@ -1,0 +1,1 @@
+lib/rdma/memclient.mli: Ivar Memory Permission Rdma_sim

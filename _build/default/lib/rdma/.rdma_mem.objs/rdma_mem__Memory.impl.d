@@ -1,0 +1,1 @@
+lib/rdma/memory.ml: Array Engine Hashtbl Ivar List Option Permission Printf Rdma_sim Stats

@@ -1,0 +1,1 @@
+lib/rdma/memory.mli: Engine Ivar Permission Rdma_sim Stats

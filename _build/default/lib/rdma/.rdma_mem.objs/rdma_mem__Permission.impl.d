@@ -1,0 +1,1 @@
+lib/rdma/permission.ml: Fmt Fun Int List Set

@@ -1,0 +1,1 @@
+lib/rdma/permission.mli: Format Set

@@ -1,0 +1,1 @@
+lib/rdma/verbs.ml: Hashtbl Ivar Memory Permission Printf Rdma_sim String

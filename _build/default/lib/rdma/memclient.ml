@@ -1,0 +1,65 @@
+(* Process-side capability for accessing the shared memories.
+
+   A [Memclient.t] is bound to one process id at creation: every operation
+   it issues carries that id, so a Byzantine *program* holding the
+   capability can still only act as itself (the permission check at the
+   memory sees the true caller).
+
+   Blocking single-memory operations plus the parallel patterns the
+   paper's algorithms use (issue to all memories, wait for a quorum). *)
+
+open Rdma_sim
+
+type t = { pid : int; memories : Memory.t array }
+
+let create ~pid ~memories = { pid; memories }
+
+let pid t = t.pid
+
+let memory_count t = Array.length t.memories
+
+let mem t i = t.memories.(i)
+
+(* Majority of the memories: ⌊m/2⌋ + 1. *)
+let majority t = (Array.length t.memories / 2) + 1
+
+(* {2 Single-memory blocking operations} *)
+
+let write t ~mem ~region ~reg value =
+  Ivar.await (Memory.write_async t.memories.(mem) ~from:t.pid ~region ~reg value)
+
+let read t ~mem ~region ~reg =
+  Ivar.await (Memory.read_async t.memories.(mem) ~from:t.pid ~region ~reg)
+
+let change_permission t ~mem ~region ~perm =
+  Ivar.await (Memory.change_permission_async t.memories.(mem) ~from:t.pid ~region ~perm)
+
+(* {2 Parallel all-memories operations} *)
+
+let write_all_async t ~region ~reg value =
+  Array.map (fun m -> Memory.write_async m ~from:t.pid ~region ~reg value) t.memories
+
+let read_all_async t ~region ~reg =
+  Array.map (fun m -> Memory.read_async m ~from:t.pid ~region ~reg) t.memories
+
+let change_permission_all_async t ~region ~perm =
+  Array.map (fun m -> Memory.change_permission_async m ~from:t.pid ~region ~perm) t.memories
+
+(* [write_quorum t ~k ~region ~reg v] writes to every memory and waits for
+   [k] responses (default: a majority).  Returns [Ack] iff every response
+   received was an ack — a nak means some memory refused (permission lost),
+   which the paper's algorithms treat as "give up". *)
+let write_quorum ?k t ~region ~reg value =
+  let k = Option.value k ~default:(majority t) in
+  let responses = Par.await_k (write_all_async t ~region ~reg value) k in
+  if List.for_all (fun (_, r) -> r = Memory.Ack) responses then Memory.Ack else Memory.Nak
+
+(* [read_quorum t ~region ~reg] reads from every memory, waits for [k]
+   responses, and returns them as [(memory index, result)] pairs. *)
+let read_quorum ?k t ~region ~reg =
+  let k = Option.value k ~default:(majority t) in
+  Par.await_k (read_all_async t ~region ~reg) k
+
+let change_permission_quorum ?k t ~region ~perm =
+  let k = Option.value k ~default:(majority t) in
+  Par.await_k (change_permission_all_async t ~region ~perm) k

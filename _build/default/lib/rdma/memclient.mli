@@ -1,0 +1,50 @@
+(** Process-side capability for accessing the shared memories.  Bound to
+    one process id: a Byzantine program holding it can only act as
+    itself. *)
+
+open Rdma_sim
+
+type t
+
+val create : pid:int -> memories:Memory.t array -> t
+
+val pid : t -> int
+
+val memory_count : t -> int
+
+val mem : t -> int -> Memory.t
+
+(** ⌊m/2⌋ + 1. *)
+val majority : t -> int
+
+(** {2 Single-memory blocking operations} *)
+
+val write : t -> mem:int -> region:string -> reg:string -> string -> Memory.op_result
+
+val read : t -> mem:int -> region:string -> reg:string -> Memory.read_result
+
+val change_permission :
+  t -> mem:int -> region:string -> perm:Permission.t -> Memory.op_result
+
+(** {2 Parallel all-memories operations} *)
+
+val write_all_async :
+  t -> region:string -> reg:string -> string -> Memory.op_result Ivar.t array
+
+val read_all_async : t -> region:string -> reg:string -> Memory.read_result Ivar.t array
+
+val change_permission_all_async :
+  t -> region:string -> perm:Permission.t -> Memory.op_result Ivar.t array
+
+(** Write to every memory, wait for [k] responses (default majority);
+    [Ack] iff all received responses were acks. *)
+val write_quorum :
+  ?k:int -> t -> region:string -> reg:string -> string -> Memory.op_result
+
+(** Read from every memory, wait for [k] responses (default majority);
+    returns [(memory index, result)] pairs. *)
+val read_quorum :
+  ?k:int -> t -> region:string -> reg:string -> (int * Memory.read_result) list
+
+val change_permission_quorum :
+  ?k:int -> t -> region:string -> perm:Permission.t -> (int * Memory.op_result) list

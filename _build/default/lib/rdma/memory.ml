@@ -1,0 +1,191 @@
+(* A simulated (shared) memory node — one of the µ_i of Section 3.
+
+   A memory holds registers grouped into named regions; each region has a
+   permission checked *at the memory* when an operation arrives, so a
+   Byzantine caller cannot bypass it — the trust placement of an RDMA NIC.
+
+   Timing follows the paper's delay metric: an operation issued at time t
+   arrives at the memory at t + one_way (permission check + state change
+   happen atomically there) and its response reaches the caller at
+   t + 2 * one_way.  A crashed memory never responds: the result ivar is
+   simply never filled. *)
+
+open Rdma_sim
+
+type op_result = Ack | Nak
+
+type read_result = Read of string option | Read_nak
+
+type region = {
+  region_name : string;
+  registers : (string, unit) Hashtbl.t;
+  mutable perm : Permission.t;
+}
+
+type t = {
+  mid : int;
+  engine : Engine.t;
+  stats : Stats.t;
+  legal_change : Permission.legal_change;
+  one_way : float;
+  mutable crashed : bool;
+  regions : (string, region) Hashtbl.t;
+  store : (string, string option) Hashtbl.t;
+  (* register -> owning region; enforces "a register belongs to exactly
+     one region" (our algorithms' convention, Section 3) *)
+  owner : (string, string) Hashtbl.t;
+  mutable tracer : (string -> unit) option; (* optional I/O trace sink *)
+}
+
+let create ?(one_way = 1.0) ?(legal_change = Permission.static_permissions)
+    ~engine ~stats ~mid () =
+  {
+    mid;
+    engine;
+    stats;
+    legal_change;
+    one_way;
+    crashed = false;
+    regions = Hashtbl.create 64;
+    store = Hashtbl.create 256;
+    owner = Hashtbl.create 256;
+    tracer = None;
+  }
+
+let id t = t.mid
+
+(* Install an I/O trace sink: called with a one-line description of every
+   operation as it *arrives* at the memory. *)
+let set_tracer t f = t.tracer <- Some f
+
+let trace t fmt = Printf.ksprintf (fun s -> match t.tracer with Some f -> f s | None -> ()) fmt
+
+let crash t = t.crashed <- true
+
+let is_crashed t = t.crashed
+
+let add_region t ~name ~perm ~registers =
+  if Hashtbl.mem t.regions name then
+    invalid_arg (Printf.sprintf "Memory.add_region: duplicate region %s" name);
+  let region =
+    { region_name = name; registers = Hashtbl.create (max 1 (List.length registers)); perm }
+  in
+  List.iter
+    (fun r ->
+      if Hashtbl.mem t.owner r then
+        invalid_arg
+          (Printf.sprintf "Memory.add_region: register %s already in region %s" r
+             (Hashtbl.find t.owner r));
+      Hashtbl.add t.owner r name;
+      Hashtbl.add region.registers r ();
+      Hashtbl.add t.store r None)
+    registers;
+  Hashtbl.add t.regions name region
+
+(* Direct (zero-delay) inspection — for tests and trace printing only;
+   simulated processes must go through the timed operations below. *)
+let peek_register t reg = Option.join (Hashtbl.find_opt t.store reg)
+
+let region_perm t name =
+  match Hashtbl.find_opt t.regions name with
+  | Some r -> Some r.perm
+  | None -> None
+
+let region_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.regions [] |> List.sort compare
+
+(* Kernel-side permission override, bypassing legalChange.  Section 7
+   places permission management in the (trusted) OS kernel: the Verbs
+   facade is that kernel, so it may install any permission; untrusted
+   process programs can still only go through changePermission. *)
+let force_permission t ~region ~perm =
+  match Hashtbl.find_opt t.regions region with
+  | Some r -> r.perm <- perm
+  | None -> invalid_arg "Memory.force_permission: no such region"
+
+(* Issue [apply] as a timed memory operation.  [apply] runs at the memory
+   (one-way later); its result is delivered another one-way later.  Either
+   leg is dropped if the memory is crashed at that moment. *)
+let operation t apply =
+  let result = Ivar.create () in
+  Engine.schedule t.engine t.one_way (fun () ->
+      if not t.crashed then begin
+        let r = apply () in
+        Engine.schedule t.engine t.one_way (fun () ->
+            if not t.crashed then Ivar.fill result r)
+      end);
+  result
+
+let lookup_region t name =
+  match Hashtbl.find_opt t.regions name with
+  | Some region -> Some region
+  | None -> None
+
+let write_async t ~from ~region ~reg value =
+  Stats.incr_writes t.stats;
+  operation t (fun () ->
+      match lookup_region t region with
+      | None ->
+          trace t "p%d write %s/%s -> nak (no region)" from region reg;
+          Nak
+      | Some r ->
+          if Hashtbl.mem r.registers reg && Permission.can_write r.perm from then begin
+            Hashtbl.replace t.store reg (Some value);
+            trace t "p%d write %s/%s := %s -> ack" from region reg value;
+            Ack
+          end
+          else begin
+            trace t "p%d write %s/%s -> nak" from region reg;
+            Nak
+          end)
+
+let read_async t ~from ~region ~reg =
+  Stats.incr_reads t.stats;
+  operation t (fun () ->
+      match lookup_region t region with
+      | None -> Read_nak
+      | Some r ->
+          if Hashtbl.mem r.registers reg && Permission.can_read r.perm from then
+            Read (Option.join (Hashtbl.find_opt t.store reg))
+          else Read_nak)
+
+(* Batched read of several registers of one region in a single operation —
+   an RDMA read of a contiguous slot array (Section 7).  Results are in
+   request order; the whole batch naks if any register is outside the
+   region or the caller lacks read permission. *)
+type read_many_result = Read_many of string option array | Read_many_nak
+
+let read_many_async t ~from ~region ~regs =
+  Stats.incr_reads t.stats;
+  operation t (fun () ->
+      match lookup_region t region with
+      | None -> Read_many_nak
+      | Some r ->
+          if
+            Permission.can_read r.perm from
+            && List.for_all (fun reg -> Hashtbl.mem r.registers reg) regs
+          then
+            Read_many
+              (Array.of_list
+                 (List.map (fun reg -> Option.join (Hashtbl.find_opt t.store reg)) regs))
+          else Read_many_nak)
+
+(* changePermission (Section 3): the memory evaluates legalChange on
+   arrival; an illegal request silently becomes a no-op (the paper's
+   semantics), but we report whether it was applied for observability. *)
+let change_permission_async t ~from ~region ~perm =
+  Stats.incr_perm_changes t.stats;
+  operation t (fun () ->
+      match lookup_region t region with
+      | None -> Nak
+      | Some r ->
+          if t.legal_change ~pid:from ~region ~current:r.perm ~requested:perm
+          then begin
+            r.perm <- perm;
+            trace t "p%d changePermission %s -> applied" from region;
+            Ack
+          end
+          else begin
+            trace t "p%d changePermission %s -> refused" from region;
+            Nak
+          end)

@@ -1,0 +1,72 @@
+(** A simulated shared-memory node (one µ_i of Section 3): registers
+    grouped into regions, permissions checked at the memory, crash
+    failures that make operations hang forever.
+
+    Timing follows the paper's delay metric: an operation issued at time
+    [t] applies at the memory at [t + one_way] and its response arrives at
+    [t + 2 * one_way]. *)
+
+open Rdma_sim
+
+type op_result = Ack | Nak
+
+type read_result = Read of string option | Read_nak
+
+type t
+
+val create :
+  ?one_way:float ->
+  ?legal_change:Permission.legal_change ->
+  engine:Engine.t ->
+  stats:Stats.t ->
+  mid:int ->
+  unit ->
+  t
+
+val id : t -> int
+
+(** Install an I/O trace sink: called with a one-line description of
+    every write/permission operation as it arrives at the memory. *)
+val set_tracer : t -> (string -> unit) -> unit
+
+(** Crash the memory: every outstanding and future operation hangs. *)
+val crash : t -> unit
+
+val is_crashed : t -> bool
+
+(** [add_region t ~name ~perm ~registers] creates a region.  Each register
+    may belong to only one region (the convention our algorithms use);
+    registers are initialized to ⊥ ([None]). *)
+val add_region :
+  t -> name:string -> perm:Permission.t -> registers:string list -> unit
+
+(** Zero-delay inspection, for tests and traces only. *)
+val peek_register : t -> string -> string option
+
+val region_perm : t -> string -> Permission.t option
+
+val region_names : t -> string list
+
+(** Kernel-side permission override, bypassing [legal_change] (the Verbs
+    facade models the trusted kernel of Section 7).  Untrusted programs
+    must use {!change_permission_async}. *)
+val force_permission : t -> region:string -> perm:Permission.t -> unit
+
+(** Timed write; the ivar fills with the result two one-way delays later
+    (never, if the memory crashes). *)
+val write_async :
+  t -> from:int -> region:string -> reg:string -> string -> op_result Ivar.t
+
+val read_async : t -> from:int -> region:string -> reg:string -> read_result Ivar.t
+
+type read_many_result = Read_many of string option array | Read_many_nak
+
+(** Batched read of several registers of one region in a single timed
+    operation — an RDMA read of a contiguous slot array (Section 7). *)
+val read_many_async :
+  t -> from:int -> region:string -> regs:string list -> read_many_result Ivar.t
+
+(** [changePermission]: the memory evaluates its [legal_change] policy on
+    arrival; [Nak] means the request was refused and nothing changed. *)
+val change_permission_async :
+  t -> from:int -> region:string -> perm:Permission.t -> op_result Ivar.t

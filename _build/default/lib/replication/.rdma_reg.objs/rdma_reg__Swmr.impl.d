@@ -1,0 +1,1 @@
+lib/replication/swmr.ml: List Memclient Memory Rdma_mem String

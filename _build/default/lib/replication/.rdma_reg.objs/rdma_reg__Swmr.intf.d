@@ -1,0 +1,1 @@
+lib/replication/swmr.mli: Memclient Memory Permission Rdma_mem

@@ -1,0 +1,68 @@
+(* Fault-tolerant SWMR registers over crash-prone memories.
+
+   The construction of Section 4.1 ("Non-equivocation in our model"),
+   after Afek et al. and Attiya-Bar-Noy-Dolev: a logical register is
+   replicated in the same region/register slot of every memory.
+
+   - write(v): write v to all memories, wait for a majority to respond.
+   - read(): read from all memories, wait for a majority to respond; if
+     exactly one distinct non-⊥ value v appears among the responses,
+     return v; otherwise return ⊥.
+
+   With a single writer whose writes are sequential and m ≥ 2fM + 1, this
+   gives the regular(-ish) semantics the paper's algorithms rely on:
+   reads that do not overlap a write return the last written value; a
+   read overlapping a write (or observing an equivocating writer who
+   wrote different values to different replicas) may return ⊥.  Registers
+   used by the paper's algorithms are written at most once per slot, so ⊥
+   simply means "retry later".
+
+   An [Ack]/[Nak] from [write] reflects the permission check at the
+   memories: [Nak] as soon as any responding memory refused (write
+   permission revoked there), which the algorithms treat as "a rival took
+   over". *)
+
+open Rdma_mem
+
+type handle = { client : Memclient.t; region : string }
+
+let attach ~client ~region = { client; region }
+
+let majority t = Memclient.majority t.client
+
+(* Write to all replicas, wait for a majority of responses; Ack iff all
+   received responses were acks. *)
+let write t ~reg value =
+  Memclient.write_quorum t.client ~region:t.region ~reg value
+
+(* Read all replicas, wait for a majority of responses, apply the
+   exactly-one-distinct-value rule. *)
+let read t ~reg =
+  let responses = Memclient.read_quorum t.client ~region:t.region ~reg in
+  let values =
+    List.filter_map
+      (fun (_, r) -> match r with Memory.Read v -> v | Memory.Read_nak -> None)
+      responses
+  in
+  match List.sort_uniq String.compare values with
+  | [ v ] -> Some v
+  | _ -> None
+
+(* Read and also report whether any replica nak'd (permission trouble is
+   interesting to some callers). *)
+let read_detailed t ~reg =
+  let responses = Memclient.read_quorum t.client ~region:t.region ~reg in
+  let naks = List.exists (fun (_, r) -> r = Memory.Read_nak) responses in
+  let values =
+    List.filter_map
+      (fun (_, r) -> match r with Memory.Read v -> v | Memory.Read_nak -> None)
+      responses
+  in
+  let value =
+    match List.sort_uniq String.compare values with [ v ] -> Some v | _ -> None
+  in
+  (value, naks)
+
+(* Change the permission of the region on every memory, majority-waited. *)
+let change_permission t ~perm =
+  ignore (Memclient.change_permission_quorum t.client ~region:t.region ~perm)

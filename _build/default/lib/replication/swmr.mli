@@ -1,0 +1,25 @@
+(** Fault-tolerant SWMR registers replicated over crash-prone memories —
+    the Section 4.1 construction (write-all / wait-majority; a read
+    returns v iff exactly one distinct non-⊥ value appears among a
+    majority of replicas, else ⊥). *)
+
+open Rdma_mem
+
+(** A process's handle on the replicated registers of one region. *)
+type handle
+
+val attach : client:Memclient.t -> region:string -> handle
+
+val majority : handle -> int
+
+(** [Ack] iff all responding memories (a majority) acked; [Nak] means some
+    memory refused — write permission was revoked there. *)
+val write : handle -> reg:string -> string -> Memory.op_result
+
+val read : handle -> reg:string -> string option
+
+(** Like {!read} but also reports whether any replica nak'd the read. *)
+val read_detailed : handle -> reg:string -> string option * bool
+
+(** Change the region's permission on every memory (majority-waited). *)
+val change_permission : handle -> perm:Permission.t -> unit

@@ -1,0 +1,1 @@
+lib/sim/par.ml: Array Engine Ivar List

@@ -1,0 +1,134 @@
+(* Deterministic discrete-event simulator with cooperative fibers.
+
+   Virtual time is a float whose unit is one network delay (the paper's
+   complexity metric, Section 3).  Fibers are implemented with OCaml 5
+   effects: a fiber is ordinary blocking-style code; every blocking point
+   performs the single [Suspend] effect, handing the engine a callback
+   that will resume the fiber at a later virtual time.
+
+   Crash injection works by cancelling a fiber: any later attempt to
+   resume it discontinues the fiber with [Cancelled] instead, so the
+   fiber "stops taking steps forever" exactly as the model prescribes. *)
+
+exception Cancelled
+
+exception Deadlock of string
+
+type fiber = {
+  fid : int;
+  name : string;
+  mutable cancelled : bool;
+}
+
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  heap : (unit -> unit) Heap.t;
+  mutable steps : int;
+  max_steps : int;
+  rng : Random.State.t;
+  mutable next_fid : int;
+  mutable errors : (string * exn) list;
+  mutable fiber_count : int;
+}
+
+type _ Effect.t +=
+  | Suspend : (t -> fiber -> ('a -> unit) -> unit) -> 'a Effect.t
+
+let create ?(max_steps = 20_000_000) ?(seed = 1) () =
+  {
+    now = 0.;
+    seq = 0;
+    heap = Heap.create ();
+    steps = 0;
+    max_steps;
+    rng = Random.State.make [| seed |];
+    next_fid = 0;
+    errors = [];
+    fiber_count = 0;
+  }
+
+let now t = t.now
+
+let rng t = t.rng
+
+let steps t = t.steps
+
+let errors t = t.errors
+
+let fiber_name f = f.name
+
+let cancelled f = f.cancelled
+
+let cancel f = f.cancelled <- true
+
+let schedule t delay callback =
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  t.seq <- t.seq + 1;
+  Heap.push t.heap ~time:(t.now +. delay) ~seq:t.seq callback
+
+(* [resume_of t fiber k] wraps a continuation as a single-shot resume
+   function that respects cancellation and schedules through the heap,
+   preserving deterministic ordering. *)
+let resume_of t fiber k =
+  let used = ref false in
+  fun v ->
+    if !used then invalid_arg "Engine: fiber resumed twice";
+    used := true;
+    schedule t 0. (fun () ->
+        if fiber.cancelled then
+          try Effect.Deep.discontinue k Cancelled with Cancelled -> ()
+        else Effect.Deep.continue k v)
+
+let handler t fiber =
+  let retc () = () in
+  let exnc = function
+    | Cancelled -> ()
+    | e -> t.errors <- (fiber.name, e) :: t.errors
+  in
+  let effc : type a. a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option
+      = function
+    | Suspend f -> Some (fun k -> f t fiber (resume_of t fiber k))
+    | _ -> None
+  in
+  { Effect.Deep.retc; exnc; effc }
+
+let spawn t name f =
+  t.next_fid <- t.next_fid + 1;
+  t.fiber_count <- t.fiber_count + 1;
+  let fiber = { fid = t.next_fid; name; cancelled = false } in
+  schedule t 0. (fun () ->
+      if not fiber.cancelled then
+        Effect.Deep.match_with
+          (fun () ->
+            Fun.protect
+              ~finally:(fun () -> t.fiber_count <- t.fiber_count - 1)
+              f)
+          () (handler t fiber));
+  fiber
+
+let run t =
+  let continue = ref true in
+  while !continue do
+    match Heap.pop t.heap with
+    | None -> continue := false
+    | Some { Heap.time; payload; _ } ->
+        t.steps <- t.steps + 1;
+        if t.steps > t.max_steps then
+          raise
+            (Deadlock
+               (Printf.sprintf "Engine: exceeded %d steps at time %.2f"
+                  t.max_steps t.now));
+        t.now <- time;
+        payload ()
+  done
+
+let suspend f = Effect.perform (Suspend f)
+
+let sleep delay =
+  if delay < 0. then invalid_arg "Engine.sleep: negative delay";
+  suspend (fun t _fiber resume -> schedule t delay (fun () -> resume ()))
+
+let yield () = sleep 0.
+
+let self () = suspend (fun _t fiber resume -> resume fiber)

@@ -1,0 +1,76 @@
+(** Deterministic discrete-event simulator with cooperative fibers.
+
+    Virtual time is a [float] whose unit is one network delay — the paper's
+    complexity metric (Section 3): a message costs 1.0, a memory operation
+    costs 2.0 (request arrival at +1.0, response at +2.0).
+
+    Fibers are blocking-style computations multiplexed over the event loop
+    with OCaml effects.  All scheduling goes through a single heap ordered
+    by [(time, insertion seq)], so runs are fully deterministic. *)
+
+(** Raised inside a fiber that has been {!cancel}led, at its next
+    (attempted) resumption. *)
+exception Cancelled
+
+(** Raised by {!run} when the step budget is exhausted — almost always a
+    livelock in the simulated protocol. *)
+exception Deadlock of string
+
+type t
+
+type fiber
+
+val create : ?max_steps:int -> ?seed:int -> unit -> t
+
+(** Current virtual time. *)
+val now : t -> float
+
+(** Seeded PRNG for simulated randomness; all determinism flows from the
+    [seed] given to {!create}. *)
+val rng : t -> Random.State.t
+
+(** Number of events executed so far. *)
+val steps : t -> int
+
+(** Exceptions that escaped fibers, most recent first, as
+    [(fiber name, exn)]. *)
+val errors : t -> (string * exn) list
+
+(** [schedule t delay f] runs [f] at virtual time [now t +. delay].
+    Usable from inside or outside fibers. *)
+val schedule : t -> float -> (unit -> unit) -> unit
+
+(** [spawn t name f] starts a new fiber.  [f] runs at the current virtual
+    time (as a fresh event). *)
+val spawn : t -> string -> (unit -> unit) -> fiber
+
+(** Cancelling a fiber makes it stop taking steps forever: pending
+    resumptions are discarded and the fiber is discontinued with
+    {!Cancelled} at its next wake-up point.  This models a process
+    crash. *)
+val cancel : fiber -> unit
+
+val cancelled : fiber -> bool
+
+val fiber_name : fiber -> string
+
+(** Run the event loop until no events remain.  Raises {!Deadlock} if the
+    step budget is exhausted. *)
+val run : t -> unit
+
+(** {2 Fiber-context operations}
+
+    These may only be called from inside a fiber spawned by {!spawn}. *)
+
+(** [suspend f] blocks the current fiber; [f engine self resume] must
+    arrange for [resume] to be called (at most once) with the result. *)
+val suspend : (t -> fiber -> ('a -> unit) -> unit) -> 'a
+
+(** Block for [delay] units of virtual time. *)
+val sleep : float -> unit
+
+(** Re-enqueue the current fiber at the current time. *)
+val yield : unit -> unit
+
+(** The currently running fiber. *)
+val self : unit -> fiber

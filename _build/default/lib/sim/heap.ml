@@ -1,0 +1,75 @@
+(* Binary min-heap keyed by (time, sequence number).
+
+   The sequence number makes the ordering total and deterministic: two
+   events scheduled for the same virtual time fire in insertion order. *)
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+}
+
+let dummy payload = { time = 0.; seq = 0; payload }
+
+let create () = { data = [||]; size = 0 }
+
+let is_empty h = h.size = 0
+
+let size h = h.size
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h entry =
+  let capacity = Array.length h.data in
+  if h.size = capacity then begin
+    let capacity' = max 16 (2 * capacity) in
+    let data' = Array.make capacity' (dummy entry.payload) in
+    Array.blit h.data 0 data' 0 h.size;
+    h.data <- data'
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt h.data.(i) h.data.(parent) then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.size && lt h.data.(left) h.data.(!smallest) then smallest := left;
+  if right < h.size && lt h.data.(right) h.data.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h ~time ~seq payload =
+  let entry = { time; seq; payload } in
+  grow h entry;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let peek h = if h.size = 0 then None else Some h.data.(0)

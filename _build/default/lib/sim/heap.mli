@@ -1,0 +1,23 @@
+(** Binary min-heap keyed by [(time, seq)].
+
+    Two entries with the same time are ordered by their sequence number, so
+    scheduling is fully deterministic. *)
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+(** [push h ~time ~seq payload] inserts an entry. *)
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+(** [pop h] removes and returns the least entry, or [None] if empty. *)
+val pop : 'a t -> 'a entry option
+
+(** [peek h] returns the least entry without removing it. *)
+val peek : 'a t -> 'a entry option

@@ -1,0 +1,61 @@
+(* Write-once synchronization variables ("ivars").
+
+   An ivar starts empty and can be filled exactly once.  Fibers block on
+   [await]; fills wake every waiter.  Used to represent the pending
+   response of an outstanding memory operation, among other things: a
+   crashed memory simply never fills the ivar, so the operation hangs
+   forever — the paper's memory-crash semantics. *)
+
+type 'a state =
+  | Empty of ('a -> unit) list (* waiters, in reverse registration order *)
+  | Full of 'a
+
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Empty [] }
+
+let full v = { state = Full v }
+
+let is_full t = match t.state with Full _ -> true | Empty _ -> false
+
+let peek t = match t.state with Full v -> Some v | Empty _ -> None
+
+let fill t v =
+  match t.state with
+  | Full _ -> invalid_arg "Ivar.fill: already full"
+  | Empty waiters ->
+      t.state <- Full v;
+      List.iter (fun w -> w v) (List.rev waiters)
+
+let try_fill t v = match t.state with Full _ -> false | Empty _ -> fill t v; true
+
+(* [on_fill t f] calls [f v] when the ivar is filled — immediately if it
+   already is.  Callbacks must be cheap; fiber wake-ups go through the
+   engine heap so no user code runs re-entrantly. *)
+let on_fill t f =
+  match t.state with
+  | Full v -> f v
+  | Empty waiters -> t.state <- Empty (f :: waiters)
+
+let await t =
+  match t.state with
+  | Full v -> v
+  | Empty _ -> Engine.suspend (fun _eng _fiber resume -> on_fill t resume)
+
+(* [await_timeout t d] waits for the ivar for at most [d] time units. *)
+let await_timeout t delay =
+  match t.state with
+  | Full v -> Some v
+  | Empty _ ->
+      Engine.suspend (fun eng _fiber resume ->
+          let settled = ref false in
+          on_fill t (fun v ->
+              if not !settled then begin
+                settled := true;
+                resume (Some v)
+              end);
+          Engine.schedule eng delay (fun () ->
+              if not !settled then begin
+                settled := true;
+                resume None
+              end))

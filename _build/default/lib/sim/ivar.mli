@@ -1,0 +1,34 @@
+(** Write-once synchronization variables.
+
+    A crashed simulated memory never fills the ivar of an outstanding
+    operation, so the operation hangs forever — the paper's memory-crash
+    semantics (Section 3). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** An ivar already holding [v]. *)
+val full : 'a -> 'a t
+
+val is_full : 'a t -> bool
+
+val peek : 'a t -> 'a option
+
+(** Fill the ivar and wake all waiters.  Raises [Invalid_argument] if
+    already full. *)
+val fill : 'a t -> 'a -> unit
+
+(** Like {!fill} but returns [false] instead of raising when full. *)
+val try_fill : 'a t -> 'a -> bool
+
+(** [on_fill t f] registers [f] to run on fill (immediately if already
+    full). *)
+val on_fill : 'a t -> ('a -> unit) -> unit
+
+(** Block the current fiber until the ivar is filled. *)
+val await : 'a t -> 'a
+
+(** [await_timeout t d] blocks for at most [d] virtual time units; [None]
+    on timeout. *)
+val await_timeout : 'a t -> float -> 'a option

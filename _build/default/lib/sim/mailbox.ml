@@ -1,0 +1,57 @@
+(* Unbounded FIFO mailboxes connecting fibers.
+
+   [recv] blocks until a message is available.  Delivery order is the
+   order of [send] calls, which the deterministic engine makes
+   reproducible. *)
+
+type 'a t = {
+  messages : 'a Queue.t;
+  waiters : ('a -> unit) Queue.t;
+}
+
+let create () = { messages = Queue.create (); waiters = Queue.create () }
+
+let send t msg =
+  if Queue.is_empty t.waiters then Queue.push msg t.messages
+  else
+    let waiter = Queue.pop t.waiters in
+    waiter msg
+
+let length t = Queue.length t.messages
+
+let is_empty t = Queue.is_empty t.messages
+
+let recv t =
+  if not (Queue.is_empty t.messages) then Queue.pop t.messages
+  else
+    Engine.suspend (fun _eng _fiber resume -> Queue.push resume t.waiters)
+
+let recv_timeout t delay =
+  if not (Queue.is_empty t.messages) then Some (Queue.pop t.messages)
+  else
+    Engine.suspend (fun eng _fiber resume ->
+        let settled = ref false in
+        Queue.push
+          (fun msg ->
+            if !settled then
+              (* Timed out before the message arrived: put it back for the
+                 next receiver instead of dropping it. *)
+              send t msg
+            else begin
+              settled := true;
+              resume (Some msg)
+            end)
+          t.waiters;
+        Engine.schedule eng delay (fun () ->
+            if not !settled then begin
+              settled := true;
+              resume None
+            end))
+
+(* Drain without blocking. *)
+let drain t =
+  let rec loop acc =
+    if Queue.is_empty t.messages then List.rev acc
+    else loop (Queue.pop t.messages :: acc)
+  in
+  loop []

@@ -1,0 +1,23 @@
+(** Unbounded FIFO mailboxes connecting fibers. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Enqueue a message, waking one blocked receiver if any. *)
+val send : 'a t -> 'a -> unit
+
+(** Queued (undelivered) message count. *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** Block until a message is available. *)
+val recv : 'a t -> 'a
+
+(** Block for at most [delay] virtual time units; [None] on timeout.  A
+    message arriving after the timeout is kept for the next receiver. *)
+val recv_timeout : 'a t -> float -> 'a option
+
+(** Remove and return all queued messages without blocking. *)
+val drain : 'a t -> 'a list

@@ -1,0 +1,77 @@
+(* Combinators for waiting on several outstanding operations.
+
+   The paper's algorithms repeatedly issue an operation to every memory in
+   parallel and continue once m - f_M of them complete ("wait for
+   completion of m - fM iterations of pfor loop", Algorithm 7). *)
+
+(* [await_k ivars k] blocks until at least [k] of [ivars] are filled, then
+   returns the filled (index, value) pairs observed at that instant, in
+   index order.  Raises [Invalid_argument] if [k] exceeds the number of
+   ivars (such a wait could never complete even without failures). *)
+let await_k ivars k =
+  let total = Array.length ivars in
+  if k > total then invalid_arg "Par.await_k: k larger than ivar count";
+  let snapshot () =
+    Array.to_list ivars
+    |> List.mapi (fun i iv -> (i, Ivar.peek iv))
+    |> List.filter_map (fun (i, v) ->
+           match v with Some v -> Some (i, v) | None -> None)
+  in
+  let filled = Array.fold_left (fun acc iv -> if Ivar.is_full iv then acc + 1 else acc) 0 ivars in
+  if filled >= k then snapshot ()
+  else begin
+    Engine.suspend (fun _eng _fiber resume ->
+        let count = ref filled and settled = ref false in
+        Array.iter
+          (fun iv ->
+            if not (Ivar.is_full iv) then
+              Ivar.on_fill iv (fun _ ->
+                  incr count;
+                  if (not !settled) && !count >= k then begin
+                    settled := true;
+                    resume ()
+                  end))
+          ivars;
+        if (not !settled) && !count >= k then begin
+          settled := true;
+          resume ()
+        end);
+    snapshot ()
+  end
+
+(* Wait for all. *)
+let await_all ivars = await_k ivars (Array.length ivars)
+
+(* [await_k_timeout ivars k d]: like [await_k] but gives up after [d] time
+   units, returning whatever completed. *)
+let await_k_timeout ivars k delay =
+  let total = Array.length ivars in
+  let k = min k total in
+  let snapshot () =
+    Array.to_list ivars
+    |> List.mapi (fun i iv -> (i, Ivar.peek iv))
+    |> List.filter_map (fun (i, v) ->
+           match v with Some v -> Some (i, v) | None -> None)
+  in
+  let filled = Array.fold_left (fun acc iv -> if Ivar.is_full iv then acc + 1 else acc) 0 ivars in
+  if filled >= k then snapshot ()
+  else begin
+    Engine.suspend (fun eng _fiber resume ->
+        let count = ref filled and settled = ref false in
+        let finish () =
+          if not !settled then begin
+            settled := true;
+            resume ()
+          end
+        in
+        Array.iter
+          (fun iv ->
+            if not (Ivar.is_full iv) then
+              Ivar.on_fill iv (fun _ ->
+                  incr count;
+                  if !count >= k then finish ()))
+          ivars;
+        if !count >= k then finish ();
+        Engine.schedule eng delay (fun () -> finish ()));
+    snapshot ()
+  end

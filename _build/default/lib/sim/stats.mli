@@ -1,0 +1,38 @@
+(** Per-run counters shared by the substrate components of a cluster. *)
+
+type t = {
+  mutable messages_sent : int;
+  mutable mem_reads : int;
+  mutable mem_writes : int;
+  mutable perm_changes : int;
+  mutable signatures : int;
+  mutable verifications : int;
+  named : (string, int ref) Hashtbl.t;
+}
+
+val create : unit -> t
+
+val incr_messages : t -> unit
+
+val incr_reads : t -> unit
+
+val incr_writes : t -> unit
+
+val incr_perm_changes : t -> unit
+
+val incr_signatures : t -> unit
+
+val incr_verifications : t -> unit
+
+(** Bump an ad-hoc named counter. *)
+val bump : t -> string -> unit
+
+val get : t -> string -> int
+
+(** Set a named counter to an absolute value. *)
+val set : t -> string -> int -> unit
+
+(** Total memory operations (reads + writes + permission changes). *)
+val mem_ops : t -> int
+
+val pp : Format.formatter -> t -> unit

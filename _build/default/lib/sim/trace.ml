@@ -1,0 +1,27 @@
+(* Lightweight event traces.
+
+   A trace records timestamped, labelled events; tests and the F6 bench
+   (component-interaction figure) query and pretty-print them.  Recording
+   is append-only and cheap. *)
+
+type event = { at : float; actor : string; label : string }
+
+type t = { mutable events : event list (* reverse order *); mutable enabled : bool }
+
+let create ?(enabled = true) () = { events = []; enabled }
+
+let record t ~at ~actor label =
+  if t.enabled then t.events <- { at; actor; label } :: t.events
+
+let recordf t ~at ~actor fmt = Format.kasprintf (record t ~at ~actor) fmt
+
+let events t = List.rev t.events
+
+let find t predicate = List.find_opt predicate (events t)
+
+let count t predicate = List.length (List.filter predicate (events t))
+
+let pp_event ppf { at; actor; label } =
+  Fmt.pf ppf "[%6.2f] %-12s %s" at actor label
+
+let pp ppf t = Fmt.(list ~sep:(any "@\n") pp_event) ppf (events t)

@@ -1,0 +1,23 @@
+(** Lightweight timestamped event traces. *)
+
+type event = { at : float; actor : string; label : string }
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+
+val record : t -> at:float -> actor:string -> string -> unit
+
+val recordf :
+  t -> at:float -> actor:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+(** All events in chronological order. *)
+val events : t -> event list
+
+val find : t -> (event -> bool) -> event option
+
+val count : t -> (event -> bool) -> int
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp : Format.formatter -> t -> unit

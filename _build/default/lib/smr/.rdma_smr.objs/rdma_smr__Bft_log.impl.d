@@ -1,0 +1,1 @@
+lib/smr/bft_log.ml: Array Cheap_quorum Cluster Engine Fast_robust Fault Ivar List Printf Rdma_consensus Rdma_mm Rdma_sim Report

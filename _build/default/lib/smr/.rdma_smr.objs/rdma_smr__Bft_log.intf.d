@@ -1,0 +1,1 @@
+lib/smr/bft_log.mli: Cluster Fast_robust Fault Ivar Rdma_consensus Rdma_mem Rdma_mm Rdma_sim Report

@@ -1,0 +1,1 @@
+lib/smr/kv.ml: Hashtbl List Rdma_consensus

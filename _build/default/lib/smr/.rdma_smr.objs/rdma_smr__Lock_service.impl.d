@@ -1,0 +1,1 @@
+lib/smr/lock_service.ml: Hashtbl List Queue Rdma_consensus String

@@ -1,0 +1,1 @@
+lib/smr/smr_log.ml: Array Cluster Codec Engine Hashtbl Ivar List Mailbox Memclient Memory Network Omega Option Par Permission Printf Queue Rdma_consensus Rdma_mem Rdma_mm Rdma_net Rdma_sim

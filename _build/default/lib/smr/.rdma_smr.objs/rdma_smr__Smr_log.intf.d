@@ -1,0 +1,1 @@
+lib/smr/smr_log.mli: Cluster Permission Rdma_mem Rdma_mm

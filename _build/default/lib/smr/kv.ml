@@ -1,0 +1,41 @@
+(* A replicated key-value store: the state machine applied to the
+   committed entries of the protected-memory log. *)
+
+type command = Set of string * string | Delete of string | Noop
+
+let encode_command = function
+  | Set (k, v) -> Rdma_consensus.Codec.join3 "set" k v
+  | Delete k -> Rdma_consensus.Codec.join2 "del" k
+  | Noop -> "noop"
+
+let decode_command s =
+  match Rdma_consensus.Codec.split s with
+  | [ "set"; k; v ] -> Some (Set (k, v))
+  | [ "del"; k ] -> Some (Delete k)
+  | [ "noop" ] -> Some Noop
+  | _ -> None
+
+type t = { table : (string, string) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let apply t = function
+  | Set (k, v) -> Hashtbl.replace t.table k v
+  | Delete k -> Hashtbl.remove t.table k
+  | Noop -> ()
+
+let apply_encoded t cmd =
+  match decode_command cmd with Some c -> apply t c | None -> ()
+
+let get t k = Hashtbl.find_opt t.table k
+
+let size t = Hashtbl.length t.table
+
+(* Materialize the store from a replica's applied log. *)
+let of_log entries =
+  let t = create () in
+  List.iter (fun (_, cmd) -> apply_encoded t cmd) entries;
+  t
+
+let bindings t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [] |> List.sort compare

@@ -1,0 +1,25 @@
+(** A replicated key-value store: the state machine applied to committed
+    log entries. *)
+
+type command = Set of string * string | Delete of string | Noop
+
+val encode_command : command -> string
+
+val decode_command : string -> command option
+
+type t
+
+val create : unit -> t
+
+val apply : t -> command -> unit
+
+val apply_encoded : t -> string -> unit
+
+val get : t -> string -> string option
+
+val size : t -> int
+
+(** Materialize the store from a replica's applied log. *)
+val of_log : (int * string) list -> t
+
+val bindings : t -> (string * string) list

@@ -1,0 +1,439 @@
+(* A replicated log on protected memory — state machine replication in
+   the style the paper's technique spawned (cf. Mu, µs-scale SMR).
+
+   The log lives in one region per memory, exclusively writable by the
+   current leader (the Protected Memory Paxos permission discipline,
+   Algorithm 7).  In steady state the leader appends an entry with ONE
+   replicated write — two delays — because write success certifies the
+   absence of rivals; no acknowledgement round is needed.
+
+   Leader change: the new leader takes the exclusive write permission on
+   every memory, reads a majority of log replicas, adopts for every slot
+   the value with the highest term (any committed slot is preserved: the
+   read majority intersects the commit majority, and by induction every
+   replica holding a term ≥ the committing term holds the committed
+   command), rewrites the adopted prefix under its own term, and resumes
+   serving.
+
+   Commands reach the leader as network messages from clients (who are
+   extra processes on the same simulated network); committed entries are
+   announced to the other replicas, which apply them in order. *)
+
+open Rdma_sim
+open Rdma_mem
+open Rdma_net
+open Rdma_mm
+open Rdma_consensus
+
+let region = "smr"
+
+let entry_reg i = Printf.sprintf "e.%d" i
+
+let encode_entry ~term ~cmd = Codec.join2 (Codec.int_field term) cmd
+
+let decode_entry s =
+  match Codec.split2 s with
+  | None -> None
+  | Some (tf, cmd) -> Option.map (fun term -> (term, cmd)) (Codec.int_of_field tf)
+
+(* Commands are stored with their (client, seq) origin so that a new
+   leader can rebuild the duplicate-suppression table from the log and a
+   retried request is acknowledged rather than re-appended. *)
+let encode_cmd_meta ~client ~seq ~cmd =
+  Codec.join3 (Codec.int_field client) (Codec.int_field seq) cmd
+
+let decode_cmd_meta s =
+  match Codec.split3 s with
+  | None -> None
+  | Some (cf, qf, cmd) -> (
+      match (Codec.int_of_field cf, Codec.int_of_field qf) with
+      | Some client, Some seq -> Some (client, seq, cmd)
+      | _ -> None)
+
+(* Client/replica messages. *)
+type msg =
+  | Request of { client : int; seq : int; cmd : string }
+  | Ack of { client : int; seq : int; index : int }
+  | Commit of { index : int; cmd : string }
+  | Read_request of { client : int; seq : int }
+  | Read_reply of { client : int; seq : int; up_to : int }
+
+let encode_msg = function
+  | Request { client; seq; cmd } ->
+      Codec.join [ "req"; Codec.int_field client; Codec.int_field seq; cmd ]
+  | Ack { client; seq; index } ->
+      Codec.join [ "ack"; Codec.int_field client; Codec.int_field seq;
+        Codec.int_field index ]
+  | Commit { index; cmd } -> Codec.join [ "com"; Codec.int_field index; cmd ]
+  | Read_request { client; seq } ->
+      Codec.join [ "rdq"; Codec.int_field client; Codec.int_field seq ]
+  | Read_reply { client; seq; up_to } ->
+      Codec.join [ "rdr"; Codec.int_field client; Codec.int_field seq;
+        Codec.int_field up_to ]
+
+let decode_msg s =
+  match Codec.split s with
+  | [ "req"; c; q; cmd ] -> (
+      match (Codec.int_of_field c, Codec.int_of_field q) with
+      | Some client, Some seq -> Some (Request { client; seq; cmd })
+      | _ -> None)
+  | [ "ack"; c; q; i ] -> (
+      match (Codec.int_of_field c, Codec.int_of_field q, Codec.int_of_field i) with
+      | Some client, Some seq, Some index -> Some (Ack { client; seq; index })
+      | _ -> None)
+  | [ "com"; i; cmd ] ->
+      Option.map (fun index -> Commit { index; cmd }) (Codec.int_of_field i)
+  | [ "rdq"; c; q ] -> (
+      match (Codec.int_of_field c, Codec.int_of_field q) with
+      | Some client, Some seq -> Some (Read_request { client; seq })
+      | _ -> None)
+  | [ "rdr"; c; q; u ] -> (
+      match (Codec.int_of_field c, Codec.int_of_field q, Codec.int_of_field u) with
+      | Some client, Some seq, Some up_to -> Some (Read_reply { client; seq; up_to })
+      | _ -> None)
+  | _ -> None
+
+type config = {
+  replicas : int; (* replicas are processes 0 .. replicas-1 *)
+  max_entries : int;
+  f_m : int option;
+  max_terms : int;
+  serve_until : float;
+      (* virtual time at which replicas stop serving, so a simulation run
+         quiesces; clients finish their workload well before *)
+}
+
+let default_config =
+  { replicas = 3; max_entries = 64; f_m = None; max_terms = 32; serve_until = 2000.0 }
+
+(* Only replicas may take the log's exclusive write permission. *)
+let legal_change cfg : Permission.legal_change =
+ fun ~pid ~region:r ~current:_ ~requested ->
+  r = region
+  && pid < cfg.replicas
+  && Permission.sole_writer requested = Some pid
+
+let lease_reg = "lease"
+
+let setup_regions cluster cfg =
+  let n = Cluster.n cluster in
+  Cluster.add_region_everywhere cluster ~name:region
+    ~perm:(Permission.exclusive_writer ~writer:0 ~n)
+    ~registers:(lease_reg :: List.init cfg.max_entries (fun i -> entry_reg (i + 1)))
+
+type replica = {
+  pid : int;
+  cfg : config;
+  applied : (int * string) Queue.t; (* (index, cmd) in application order *)
+  mutable applied_up_to : int;
+  mutable current_term : int;
+  mutable stopped : bool;
+  pending : (int * string) Mailbox.t; (* decoded Commit messages *)
+  requests : (int * int * string) Mailbox.t; (* client, seq, cmd *)
+  reads : (int * int) Mailbox.t; (* client, seq *)
+}
+
+let applied_entries r =
+  Queue.fold (fun acc e -> e :: acc) [] r.applied |> List.rev
+
+let applied_count r = r.applied_up_to
+
+let apply_entry r ~index ~cmd =
+  if index = r.applied_up_to + 1 then begin
+    Queue.push (index, cmd) r.applied;
+    r.applied_up_to <- index
+  end
+
+(* Route incoming messages by role. *)
+let pump (ctx : _ Cluster.ctx) r =
+  while not r.stopped do
+    let from, payload = Network.recv ctx.Cluster.ep in
+    match decode_msg payload with
+    | Some (Request { client; seq; cmd }) -> Mailbox.send r.requests (client, seq, cmd)
+    | Some (Commit { index; cmd }) -> Mailbox.send r.pending (index, cmd)
+    | Some (Read_request { client; seq }) -> Mailbox.send r.reads (client, seq)
+    | Some (Ack _) | Some (Read_reply _) | None -> ignore from
+  done
+
+(* Followers apply committed entries in order (buffering gaps). *)
+let applier r =
+  let buffer = Hashtbl.create 32 in
+  while not r.stopped do
+    let index, cmd = Mailbox.recv r.pending in
+    Hashtbl.replace buffer index cmd;
+    let continue = ref true in
+    while !continue do
+      match Hashtbl.find_opt buffer (r.applied_up_to + 1) with
+      | Some cmd ->
+          Hashtbl.remove buffer (r.applied_up_to + 1);
+          apply_entry r ~index:(r.applied_up_to + 1) ~cmd
+      | None -> continue := false
+    done
+  done
+
+(* Leader recovery: take permissions, read a majority of replicas, adopt
+   max-term values per slot, rewrite them under our own term.  Returns
+   the adopted log (dense prefix) or None if deposed meanwhile. *)
+let recover (ctx : _ Cluster.ctx) r ~term =
+  let cfg = r.cfg in
+  let m = ctx.Cluster.cluster_m in
+  let f_m = match cfg.f_m with Some f -> f | None -> (m - 1) / 2 in
+  let quorum = m - f_m in
+  let n = ctx.Cluster.cluster_n in
+  let client = ctx.Cluster.client in
+  let regs = List.init cfg.max_entries (fun i -> entry_reg (i + 1)) in
+  (* per-memory chain: grab permission, read the whole log *)
+  let chains = Array.init m (fun _ -> Ivar.create ()) in
+  for i = 0 to m - 1 do
+    ctx.Cluster.spawn_sub
+      (Printf.sprintf "smr.recover%d" i)
+      (fun () ->
+        let (_ : Memory.op_result) =
+          Memclient.change_permission client ~mem:i ~region
+            ~perm:(Permission.exclusive_writer ~writer:r.pid ~n)
+        in
+        match
+          Ivar.await
+            (Memory.read_many_async (Memclient.mem client i) ~from:r.pid ~region ~regs)
+        with
+        | Memory.Read_many values -> Ivar.fill chains.(i) (Some values)
+        | Memory.Read_many_nak -> Ivar.fill chains.(i) None)
+  done;
+  let completed = Par.await_k chains quorum in
+  if List.exists (fun (_, v) -> v = None) completed then None
+  else begin
+    let adopted = Array.make cfg.max_entries None in
+    List.iter
+      (fun (_, values) ->
+        match values with
+        | None -> ()
+        | Some values ->
+            Array.iteri
+              (fun idx v ->
+                match Option.bind v decode_entry with
+                | None -> ()
+                | Some (t, cmd) -> (
+                    match adopted.(idx) with
+                    | Some (t0, _) when t0 >= t -> ()
+                    | _ -> adopted.(idx) <- Some (t, cmd)))
+              values)
+      completed;
+    (* Rewrite the dense adopted prefix under our term. *)
+    let prefix = ref [] in
+    (try
+       Array.iteri
+         (fun idx e ->
+           match e with
+           | Some (_, cmd) -> prefix := (idx + 1, cmd) :: !prefix
+           | None -> raise Exit)
+         adopted
+     with Exit -> ());
+    let prefix = List.rev !prefix in
+    let deposed = ref false in
+    List.iter
+      (fun (index, cmd) ->
+        if not !deposed then begin
+          let writes =
+            Memclient.write_all_async client ~region ~reg:(entry_reg index)
+              (encode_entry ~term ~cmd)
+          in
+          let completed = Par.await_k writes quorum in
+          if not (List.for_all (fun (_, w) -> w = Memory.Ack) completed) then
+            deposed := true
+        end)
+      prefix;
+    if !deposed then None else Some prefix
+  end
+
+(* Append one entry in steady state: a single replicated write; all-ack
+   majority = committed (two delays). *)
+let append (ctx : _ Cluster.ctx) r ~term ~index ~cmd =
+  let m = ctx.Cluster.cluster_m in
+  let f_m = match r.cfg.f_m with Some f -> f | None -> (m - 1) / 2 in
+  let quorum = m - f_m in
+  let writes =
+    Memclient.write_all_async ctx.Cluster.client ~region ~reg:(entry_reg index)
+      (encode_entry ~term ~cmd)
+  in
+  let completed = Par.await_k writes quorum in
+  List.for_all (fun (_, w) -> w = Memory.Ack) completed
+
+let leader_loop (ctx : _ Cluster.ctx) r =
+  let ep = ctx.Cluster.ep in
+  let terms = ref 0 in
+  let continue = ref true in
+  while !continue && not r.stopped do
+    Omega.wait_until_leader ctx.Cluster.ctx_omega ~me:r.pid;
+    if r.stopped || Engine.now ctx.Cluster.ctx_engine >= r.cfg.serve_until then
+      continue := false
+    else begin
+      incr terms;
+      if !terms > r.cfg.max_terms then continue := false
+      else begin
+        let term = (!terms * r.cfg.replicas) + r.pid + 1 in
+        r.current_term <- term;
+        (* First leader in its first term owns the permissions already
+           and the log is empty: skip recovery (the 2-delay fast path
+           from the very first append). *)
+        let recovered =
+          if r.pid = 0 && !terms = 1 then Some []
+          else recover ctx r ~term
+        in
+        match recovered with
+        | None -> () (* deposed during recovery; wait for Ω again *)
+        | Some prefix ->
+            (* Rebuild duplicate suppression from the log, then apply and
+               announce the recovered prefix (stripped of metadata). *)
+            let dedup = Hashtbl.create 32 in
+            List.iter
+              (fun (index, stored) ->
+                let cmd =
+                  match decode_cmd_meta stored with
+                  | Some (client, seq, cmd) ->
+                      Hashtbl.replace dedup (client, seq) index;
+                      cmd
+                  | None -> stored
+                in
+                Mailbox.send r.pending (index, cmd);
+                Network.broadcast ep (encode_msg (Commit { index; cmd })))
+              prefix;
+            let next = ref (List.length prefix + 1) in
+            let deposed = ref false in
+            while (not !deposed) && (not r.stopped)
+                  && Engine.now ctx.Cluster.ctx_engine < r.cfg.serve_until
+                  && Omega.leader ctx.Cluster.ctx_omega = r.pid do
+              (* Linearizable reads (Mu-style): confirm the reign is
+                 intact with one permission-protected write to a scratch
+                 lease register — it naks iff a rival grabbed the
+                 permission — then answer from local applied state. *)
+              (match Mailbox.drain r.reads with
+              | [] -> ()
+              | readers ->
+                  let m = ctx.Cluster.cluster_m in
+                  let f_m =
+                    match r.cfg.f_m with Some f -> f | None -> (m - 1) / 2
+                  in
+                  let writes =
+                    Memclient.write_all_async ctx.Cluster.client ~region
+                      ~reg:lease_reg (Codec.int_field term)
+                  in
+                  let completed = Par.await_k writes (m - f_m) in
+                  if List.for_all (fun (_, w) -> w = Memory.Ack) completed then
+                    List.iter
+                      (fun (client, seq) ->
+                        Network.send ep ~dst:client
+                          (encode_msg
+                             (Read_reply { client; seq; up_to = r.applied_up_to })))
+                      readers
+                  else deposed := true);
+              match Mailbox.recv_timeout r.requests 4.0 with
+              | None -> ()
+              | Some (client_pid, seq, cmd) -> (
+                  match Hashtbl.find_opt dedup (client_pid, seq) with
+                  | Some index ->
+                      (* a retry of a committed request: just re-ack *)
+                      Network.send ep ~dst:client_pid
+                        (encode_msg (Ack { client = client_pid; seq; index }))
+                  | None ->
+                      if !next > r.cfg.max_entries then deposed := true
+                      else if
+                        append ctx r ~term ~index:!next
+                          ~cmd:(encode_cmd_meta ~client:client_pid ~seq ~cmd)
+                      then begin
+                        let index = !next in
+                        incr next;
+                        Hashtbl.replace dedup (client_pid, seq) index;
+                        Mailbox.send r.pending (index, cmd);
+                        Network.broadcast ep (encode_msg (Commit { index; cmd }));
+                        Network.send ep ~dst:client_pid
+                          (encode_msg (Ack { client = client_pid; seq; index }))
+                      end
+                      else deposed := true)
+            done
+      end
+    end
+  done
+
+let spawn_replica cluster ?(cfg = default_config) ~pid () =
+  let r =
+    {
+      pid;
+      cfg;
+      applied = Queue.create ();
+      applied_up_to = 0;
+      current_term = 0;
+      stopped = false;
+      pending = Mailbox.create ();
+      requests = Mailbox.create ();
+      reads = Mailbox.create ();
+    }
+  in
+  Cluster.spawn cluster ~pid (fun ctx ->
+      ctx.Cluster.spawn_sub "smr.pump" (fun () -> pump ctx r);
+      ctx.Cluster.spawn_sub "smr.applier" (fun () -> applier r);
+      leader_loop ctx r);
+  r
+
+(* Stop a replica's loops (so a test's run can quiesce). *)
+let stop r = r.stopped <- true
+
+(* {2 Clients} *)
+
+(* Linearizable read from a client: ask the leader; it lease-checks its
+   reign and answers with its applied index. *)
+let linearizable_read (ctx : _ Cluster.ctx) ~cfg ~seq ~timeout =
+  let me = ctx.Cluster.pid in
+  let deadline = Engine.now ctx.Cluster.ctx_engine +. timeout in
+  let rec attempt () =
+    if Engine.now ctx.Cluster.ctx_engine >= deadline then None
+    else begin
+      let leader = min (Omega.leader ctx.Cluster.ctx_omega) (cfg.replicas - 1) in
+      Network.send ctx.Cluster.ep ~dst:leader
+        (encode_msg (Read_request { client = me; seq }));
+      let rec await () =
+        let remaining = deadline -. Engine.now ctx.Cluster.ctx_engine in
+        let wait = min 20.0 remaining in
+        if wait <= 0. then None
+        else
+          match Network.recv_timeout ctx.Cluster.ep wait with
+          | None -> attempt ()
+          | Some (_, payload) -> (
+              match decode_msg payload with
+              | Some (Read_reply { client; seq = s; up_to }) when client = me && s = seq
+                ->
+                  Some up_to
+              | _ -> await ())
+      in
+      await ()
+    end
+  in
+  attempt ()
+
+(* A client is an extra process (pid ≥ replicas) that submits commands to
+   the Ω leader and waits for the ack, retrying on timeout. *)
+let submit (ctx : _ Cluster.ctx) ~cfg ~seq ~cmd ~timeout =
+  let me = ctx.Cluster.pid in
+  let deadline = Engine.now ctx.Cluster.ctx_engine +. timeout in
+  let rec attempt () =
+    if Engine.now ctx.Cluster.ctx_engine >= deadline then None
+    else begin
+      let leader = min (Omega.leader ctx.Cluster.ctx_omega) (cfg.replicas - 1) in
+      Network.send ctx.Cluster.ep ~dst:leader
+        (encode_msg (Request { client = me; seq; cmd }));
+      let rec await () =
+        let remaining = deadline -. Engine.now ctx.Cluster.ctx_engine in
+        let wait = min 20.0 remaining in
+        if wait <= 0. then None
+        else
+          match Network.recv_timeout ctx.Cluster.ep wait with
+          | None -> attempt () (* resend (possibly to a new leader) *)
+          | Some (_, payload) -> (
+              match decode_msg payload with
+              | Some (Ack { client; seq = s; index }) when client = me && s = seq ->
+                  Some index
+              | _ -> await ())
+      in
+      await ()
+    end
+  in
+  attempt ()

@@ -1,0 +1,71 @@
+(** A replicated log on protected memory — Mu-style state machine
+    replication built on the Protected Memory Paxos permission
+    discipline: a steady-state append is ONE replicated write (two
+    delays), because write success certifies the absence of rivals. *)
+
+open Rdma_mm
+open Rdma_mem
+
+val region : string
+
+val entry_reg : int -> string
+
+val encode_entry : term:int -> cmd:string -> string
+
+val decode_entry : string -> (int * string) option
+
+(** Commands are logged with their (client, seq) origin, so a new leader
+    can rebuild duplicate suppression from the log. *)
+val encode_cmd_meta : client:int -> seq:int -> cmd:string -> string
+
+val decode_cmd_meta : string -> (int * int * string) option
+
+type msg =
+  | Request of { client : int; seq : int; cmd : string }
+  | Ack of { client : int; seq : int; index : int }
+  | Commit of { index : int; cmd : string }
+  | Read_request of { client : int; seq : int }
+  | Read_reply of { client : int; seq : int; up_to : int }
+
+val encode_msg : msg -> string
+
+val decode_msg : string -> msg option
+
+type config = {
+  replicas : int;  (** replicas are processes [0 .. replicas-1] *)
+  max_entries : int;
+  f_m : int option;
+  max_terms : int;
+  serve_until : float;
+      (** virtual time at which replicas stop serving (so runs quiesce) *)
+}
+
+val default_config : config
+
+(** Only replicas may take the log's exclusive write permission. *)
+val legal_change : config -> Permission.legal_change
+
+val setup_regions : 'm Cluster.t -> config -> unit
+
+type replica
+
+(** Applied entries, oldest first, as [(index, command)]. *)
+val applied_entries : replica -> (int * string) list
+
+val applied_count : replica -> int
+
+val spawn_replica : string Cluster.t -> ?cfg:config -> pid:int -> unit -> replica
+
+val stop : replica -> unit
+
+(** Submit a command from a client process (pid ≥ replicas): sends to the
+    Ω leader, awaits the ack, retries on timeout.  Returns the committed
+    index, or [None] if [timeout] elapsed. *)
+val submit :
+  string Cluster.ctx -> cfg:config -> seq:int -> cmd:string -> timeout:float -> int option
+
+(** Linearizable read: the leader confirms its reign with one
+    permission-protected lease write, then reports how many entries are
+    applied.  Returns that index, or [None] on timeout. *)
+val linearizable_read :
+  string Cluster.ctx -> cfg:config -> seq:int -> timeout:float -> int option

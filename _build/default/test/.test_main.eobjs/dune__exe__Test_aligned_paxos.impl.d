@@ -1,0 +1,1 @@
+test/test_aligned_paxos.ml: Alcotest Aligned_paxos Array Fault Fmt List Printf Rdma_consensus Report

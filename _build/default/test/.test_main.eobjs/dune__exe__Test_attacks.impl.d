@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Cheap_quorum Cluster Engine Fast_robust Keychain List Neb Rdma_consensus Rdma_crypto Rdma_mem Rdma_mm Rdma_reg Rdma_sim Trusted

@@ -1,0 +1,1 @@
+test/test_bft_log.ml: Alcotest Array Bft_log Cheap_quorum Codec Fast_robust Fault List Printf Rdma_consensus Rdma_crypto Rdma_smr Report

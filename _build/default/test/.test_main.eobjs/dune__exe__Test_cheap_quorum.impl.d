@@ -1,0 +1,1 @@
+test/test_cheap_quorum.ml: Alcotest Array Attacks Cheap_quorum Cluster Engine Fault List Printf Rdma_consensus Rdma_crypto Rdma_mm Rdma_sim String

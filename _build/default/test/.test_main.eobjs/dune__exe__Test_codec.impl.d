@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Codec List Paxos QCheck2 QCheck_alcotest Rdma_consensus

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Char Hmac Keychain List QCheck2 QCheck_alcotest Rdma_crypto Sha256 String

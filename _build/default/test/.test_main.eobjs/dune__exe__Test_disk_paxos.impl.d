@@ -1,0 +1,1 @@
+test/test_disk_paxos.ml: Alcotest Array Disk_paxos Fault List Printf Rdma_consensus Report

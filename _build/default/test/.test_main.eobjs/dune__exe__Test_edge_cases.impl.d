@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Aligned_paxos Array Buffer Cluster Engine Fault Ivar List Mailbox Paxos Printf Protected_paxos Protected_paxos_multi Rdma_consensus Rdma_mm Rdma_sim Rdma_smr Report

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Buffer Engine Ivar List Mailbox Par Printf Rdma_sim

@@ -1,0 +1,1 @@
+test/test_fast_paxos.ml: Alcotest Array Fast_paxos Fault List Printf Rdma_consensus Report

@@ -1,0 +1,1 @@
+test/test_fast_robust.ml: Alcotest Array Attacks Fast_robust Fault List Printf Rdma_consensus Rdma_mm Rdma_sim Report

@@ -1,0 +1,1 @@
+test/test_fd.ml: Alcotest Array Engine Fault Heartbeat_fd List Network Printf Protected_paxos Rdma_consensus Rdma_mm Rdma_net Rdma_sim Report Stats

@@ -1,0 +1,1 @@
+test/test_lock_service.ml: Alcotest Array Cluster Engine List Lock_service Rdma_mm Rdma_sim Rdma_smr Smr_log

@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Engine Fmt Ivar Memory Permission Printexc Rdma_mem Rdma_sim Stats

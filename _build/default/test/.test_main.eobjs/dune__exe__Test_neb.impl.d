@@ -1,0 +1,1 @@
+test/test_neb.ml: Alcotest Array Attacks Cluster Engine List Neb Printf Rdma_consensus Rdma_crypto Rdma_mem Rdma_mm Rdma_reg Rdma_sim

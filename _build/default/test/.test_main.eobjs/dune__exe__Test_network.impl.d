@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Engine List Network Omega Rdma_mm Rdma_net Rdma_sim Stats

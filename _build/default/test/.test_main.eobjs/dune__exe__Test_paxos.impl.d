@@ -1,0 +1,1 @@
+test/test_paxos.ml: Alcotest Array Fault List Paxos Printf Rdma_consensus Report

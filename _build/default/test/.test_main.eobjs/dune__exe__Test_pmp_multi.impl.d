@@ -1,0 +1,1 @@
+test/test_pmp_multi.ml: Alcotest Array Fault List Printf Protected_paxos_multi Rdma_consensus Report

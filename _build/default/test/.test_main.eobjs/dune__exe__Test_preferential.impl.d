@@ -1,0 +1,1 @@
+test/test_preferential.ml: Alcotest Attacks Codec Fault List Preferential_paxos Printf Rdma_consensus Report

@@ -1,0 +1,1 @@
+test/test_probe.ml: Alcotest Fault List Protected_paxos Rdma_consensus Report Two_delay_probe

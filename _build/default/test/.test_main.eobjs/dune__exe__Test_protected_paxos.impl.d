@@ -1,0 +1,1 @@
+test/test_protected_paxos.ml: Alcotest Array Fault List Printf Protected_paxos Rdma_consensus Report

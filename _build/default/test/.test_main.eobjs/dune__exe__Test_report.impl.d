@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Engine Fault Fmt List Memclient Memory Permission Rdma_consensus Rdma_mem Rdma_sim Report Stats String Trace

@@ -1,0 +1,1 @@
+test/test_robust_backup.ml: Alcotest Array Attacks Cluster Fault Ivar Printf Rdma_consensus Rdma_mm Rdma_sim Report Robust_backup Trusted

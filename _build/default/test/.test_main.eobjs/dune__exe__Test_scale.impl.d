@@ -1,0 +1,1 @@
+test/test_scale.ml: Alcotest Aligned_paxos Array Attacks Cluster Disk_paxos Engine Fast_robust Fault List Neb Printf Protected_paxos Rdma_consensus Rdma_mm Rdma_sim Report

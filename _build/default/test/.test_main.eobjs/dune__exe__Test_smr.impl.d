@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Array Cluster Engine Kv List Printf Rdma_mm Rdma_sim Rdma_smr Smr_log

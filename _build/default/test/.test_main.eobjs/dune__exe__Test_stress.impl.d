@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Cluster Fast_robust Fault List Printf Protected_paxos Rdma_consensus Rdma_mm Rdma_sim Report String Trace

@@ -1,0 +1,1 @@
+test/test_swmr.ml: Alcotest Array Engine Ivar Memclient Memory Permission Printexc Rdma_mem Rdma_reg Rdma_sim Stats Swmr

@@ -1,0 +1,1 @@
+test/test_trusted.ml: Alcotest Array Cluster Codec Engine List Neb Printf Rdma_consensus Rdma_crypto Rdma_mm Rdma_sim String Trusted

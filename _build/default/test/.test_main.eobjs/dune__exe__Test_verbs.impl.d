@@ -1,0 +1,1 @@
+test/test_verbs.ml: Alcotest Engine Ivar Memory Printexc Rdma_mem Rdma_sim Stats Verbs

@@ -1,0 +1,69 @@
+(* Codec round-trip and canonicality tests, including qcheck properties. *)
+
+open Rdma_consensus
+
+let test_simple_roundtrip () =
+  let fields = [ "abc"; "def"; "" ] in
+  Alcotest.(check (list string)) "roundtrip" fields (Codec.split (Codec.join fields))
+
+let test_separator_escaped () =
+  let fields = [ "a|b"; "c%d"; "%7c" ] in
+  Alcotest.(check (list string)) "escaping roundtrips" fields
+    (Codec.split (Codec.join fields))
+
+let test_fixed_arity () =
+  Alcotest.(check (option (pair string string))) "split2" (Some ("x", "y"))
+    (Codec.split2 (Codec.join2 "x" "y"));
+  Alcotest.(check bool) "split3 rejects arity-2" true (Codec.split3 (Codec.join2 "x" "y") = None);
+  (match Codec.split4 (Codec.join4 "a" "b" "c" "d") with
+  | Some ("a", "b", "c", "d") -> ()
+  | _ -> Alcotest.fail "split4 failed");
+  Alcotest.(check (option int)) "int field" (Some 42) (Codec.int_of_field (Codec.int_field 42))
+
+let qcheck_roundtrip =
+  QCheck2.Test.make ~name:"codec join/split roundtrips arbitrary fields" ~count:500
+    QCheck2.Gen.(list (string_size (0 -- 30)))
+    (fun fields -> Codec.split (Codec.join fields) = fields)
+
+let qcheck_canonical =
+  QCheck2.Test.make ~name:"codec encodings are injective" ~count:500
+    QCheck2.Gen.(pair (list (string_size (0 -- 10))) (list (string_size (0 -- 10))))
+    (fun (a, b) -> a = b || Codec.join a <> Codec.join b)
+
+(* Paxos message codec *)
+
+let test_paxos_msgs_roundtrip () =
+  let open Paxos in
+  let msgs =
+    [
+      Prepare { ballot = 7 };
+      Promise { ballot = 3; accepted_ballot = 0; accepted_value = "" };
+      Promise { ballot = 3; accepted_ballot = 2; accepted_value = "weird|value%" };
+      Reject { ballot = 5; higher = 9 };
+      Accept { ballot = 4; value = "v" };
+      Accepted { ballot = 4 };
+      Decide { value = "final" };
+    ]
+  in
+  List.iter
+    (fun m ->
+      match decode (encode m) with
+      | Some m' when m = m' -> ()
+      | _ -> Alcotest.fail "paxos message did not roundtrip")
+    msgs
+
+let test_paxos_decode_garbage () =
+  Alcotest.(check bool) "garbage decodes to None" true (Paxos.decode "nonsense" = None);
+  Alcotest.(check bool) "bad int decodes to None" true
+    (Paxos.decode (Codec.join [ "prepare"; "xyz" ]) = None)
+
+let suite =
+  [
+    Alcotest.test_case "simple roundtrip" `Quick test_simple_roundtrip;
+    Alcotest.test_case "separators escaped" `Quick test_separator_escaped;
+    Alcotest.test_case "fixed arity helpers" `Quick test_fixed_arity;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_canonical;
+    Alcotest.test_case "paxos messages roundtrip" `Quick test_paxos_msgs_roundtrip;
+    Alcotest.test_case "paxos decode rejects garbage" `Quick test_paxos_decode_garbage;
+  ]

@@ -1,0 +1,95 @@
+(* Disk Paxos baseline: 4-deciding (never 2), n ≥ f+1, m ≥ 2fM+1, static
+   permissions. *)
+
+open Rdma_consensus
+
+let inputs n = Array.init n (fun i -> Printf.sprintf "v%d" i)
+
+let test_common_case_four_delays () =
+  let n = 3 and m = 3 in
+  let report = Disk_paxos.run ~n ~m ~inputs:(inputs n) () in
+  Alcotest.(check bool) "agreement" true (Report.agreement_ok report);
+  Alcotest.(check (option (float 0.0)))
+    "4-deciding: write + mandatory read-back" (Some 4.0)
+    (Report.first_decision_time report);
+  Alcotest.(check int) "everyone eventually decides" n (Report.decided_count report)
+
+let test_n_equals_f_plus_one () =
+  let n = 2 and m = 3 in
+  let faults = [ Fault.Crash_process { pid = 1; at = 0.0 } ] in
+  let report = Disk_paxos.run ~n ~m ~inputs:(inputs n) ~faults () in
+  Alcotest.(check int) "survivor decides alone" 1 (Report.decided_count report)
+
+let test_minority_disk_crash () =
+  let n = 3 and m = 3 in
+  let faults = [ Fault.Crash_memory { mid = 1; at = 0.0 } ] in
+  let report = Disk_paxos.run ~n ~m ~inputs:(inputs n) ~faults () in
+  Alcotest.(check bool) "agreement" true (Report.agreement_ok report);
+  Alcotest.(check bool) "decides with 2/3 disks" true (Report.decided_count report >= 1)
+
+let test_majority_disk_crash_blocks () =
+  let n = 3 and m = 3 in
+  let faults =
+    [ Fault.Crash_memory { mid = 0; at = 0.0 }; Fault.Crash_memory { mid = 1; at = 0.0 } ]
+  in
+  let report = Disk_paxos.run ~n ~m ~inputs:(inputs n) ~faults () in
+  Alcotest.(check int) "no decision without disk majority" 0
+    (Report.decided_count report)
+
+let test_leader_crash_sweep () =
+  List.iter
+    (fun at ->
+      let n = 3 and m = 3 in
+      let faults = [ Fault.Crash_process { pid = 0; at } ] in
+      let report = Disk_paxos.run ~n ~m ~inputs:(inputs n) ~faults () in
+      Alcotest.(check bool)
+        (Printf.sprintf "agreement (leader crash at %.2f)" at)
+        true (Report.agreement_ok report);
+      Alcotest.(check bool)
+        (Printf.sprintf "validity (leader crash at %.2f)" at)
+        true
+        (Report.validity_ok report ~inputs:(inputs n));
+      Alcotest.(check bool)
+        (Printf.sprintf "survivors decide (crash at %.2f)" at)
+        true
+        (Report.decided_count report >= 2))
+    [ 0.5; 1.5; 2.5; 3.5; 4.5 ]
+
+let test_dueling_leaders_safe () =
+  let n = 3 and m = 3 in
+  let faults =
+    [
+      Fault.Set_leader { pid = 1; at = 2.0 };
+      Fault.Set_leader { pid = 2; at = 6.0 };
+      Fault.Set_leader { pid = 0; at = 12.0 };
+    ]
+  in
+  let report = Disk_paxos.run ~n ~m ~inputs:(inputs n) ~faults () in
+  Alcotest.(check bool) "agreement under dueling leaders" true (Report.agreement_ok report);
+  Alcotest.(check bool) "validity" true (Report.validity_ok report ~inputs:(inputs n))
+
+let test_never_two_deciding () =
+  (* Theorem 6.1's empirical face: across seeds, static-permission Disk
+     Paxos never decides in fewer than 4 delays. *)
+  List.iter
+    (fun seed ->
+      let n = 3 and m = 3 in
+      let report = Disk_paxos.run ~seed ~n ~m ~inputs:(inputs n) () in
+      match Report.first_decision_time report with
+      | Some t ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d decides in >= 4 delays" seed)
+            true (t >= 4.0)
+      | None -> Alcotest.fail "no decision")
+    [ 1; 2; 3; 4; 5 ]
+
+let suite =
+  [
+    Alcotest.test_case "common case takes 4 delays" `Quick test_common_case_four_delays;
+    Alcotest.test_case "n = f+1 resilience" `Quick test_n_equals_f_plus_one;
+    Alcotest.test_case "minority disk crash tolerated" `Quick test_minority_disk_crash;
+    Alcotest.test_case "majority disk crash blocks" `Quick test_majority_disk_crash_blocks;
+    Alcotest.test_case "leader crash sweep" `Quick test_leader_crash_sweep;
+    Alcotest.test_case "dueling leaders stay safe" `Quick test_dueling_leaders_safe;
+    Alcotest.test_case "never 2-deciding (Theorem 6.1)" `Quick test_never_two_deciding;
+  ]

@@ -1,0 +1,226 @@
+(* Unit tests for the simulator engine: virtual time, fibers, ivars,
+   mailboxes, cancellation, timeouts, determinism. *)
+
+open Rdma_sim
+
+let test_virtual_time () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.schedule eng 5.0 (fun () -> log := (Engine.now eng, "b") :: !log);
+  Engine.schedule eng 1.0 (fun () -> log := (Engine.now eng, "a") :: !log);
+  Engine.run eng;
+  Alcotest.(check (list (pair (float 0.0) string)))
+    "events fire at their virtual times in order"
+    [ (1.0, "a"); (5.0, "b") ]
+    (List.rev !log)
+
+let test_fiber_sleep () =
+  let eng = Engine.create () in
+  let finished_at = ref (-1.0) in
+  ignore
+    (Engine.spawn eng "sleeper" (fun () ->
+         Engine.sleep 2.0;
+         Engine.sleep 3.0;
+         finished_at := Engine.now eng));
+  Engine.run eng;
+  Alcotest.(check (float 0.0)) "sleeps accumulate" 5.0 !finished_at
+
+let test_ivar_basic () =
+  let eng = Engine.create () in
+  let iv = Ivar.create () in
+  let got = ref 0 in
+  ignore (Engine.spawn eng "waiter" (fun () -> got := Ivar.await iv));
+  ignore
+    (Engine.spawn eng "filler" (fun () ->
+         Engine.sleep 1.5;
+         Ivar.fill iv 42));
+  Engine.run eng;
+  Alcotest.(check int) "await returns filled value" 42 !got
+
+let test_ivar_multiple_waiters () =
+  let eng = Engine.create () in
+  let iv = Ivar.create () in
+  let sum = ref 0 in
+  for _ = 1 to 5 do
+    ignore (Engine.spawn eng "w" (fun () -> sum := !sum + Ivar.await iv))
+  done;
+  ignore (Engine.spawn eng "filler" (fun () -> Ivar.fill iv 10));
+  Engine.run eng;
+  Alcotest.(check int) "all waiters wake" 50 !sum
+
+let test_ivar_double_fill_raises () =
+  let iv = Ivar.create () in
+  Ivar.fill iv 1;
+  Alcotest.check_raises "second fill raises"
+    (Invalid_argument "Ivar.fill: already full") (fun () -> Ivar.fill iv 2)
+
+let test_ivar_timeout () =
+  let eng = Engine.create () in
+  let never = Ivar.create () in
+  let result = ref (Some 99) in
+  let when_ = ref 0.0 in
+  ignore
+    (Engine.spawn eng "waiter" (fun () ->
+         result := Ivar.await_timeout never 4.0;
+         when_ := Engine.now eng));
+  Engine.run eng;
+  Alcotest.(check bool) "timed out" true (!result = None);
+  Alcotest.(check (float 0.0)) "timeout fires at deadline" 4.0 !when_
+
+let test_ivar_timeout_beats_deadline () =
+  let eng = Engine.create () in
+  let iv = Ivar.create () in
+  let result = ref None in
+  ignore (Engine.spawn eng "waiter" (fun () -> result := Ivar.await_timeout iv 10.0));
+  ignore
+    (Engine.spawn eng "filler" (fun () ->
+         Engine.sleep 2.0;
+         Ivar.fill iv "v"));
+  Engine.run eng;
+  Alcotest.(check (option string)) "value wins race" (Some "v") !result
+
+let test_cancellation () =
+  let eng = Engine.create () in
+  let reached = ref false in
+  let fiber =
+    Engine.spawn eng "victim" (fun () ->
+        Engine.sleep 5.0;
+        reached := true)
+  in
+  Engine.schedule eng 2.0 (fun () -> Engine.cancel fiber);
+  Engine.run eng;
+  Alcotest.(check bool) "cancelled fiber takes no further steps" false !reached
+
+let test_cancelled_before_start () =
+  let eng = Engine.create () in
+  let reached = ref false in
+  let fiber = Engine.spawn eng "victim" (fun () -> reached := true) in
+  Engine.cancel fiber;
+  Engine.run eng;
+  Alcotest.(check bool) "cancel before first step" false !reached
+
+let test_mailbox_fifo () =
+  let eng = Engine.create () in
+  let box = Mailbox.create () in
+  let got = ref [] in
+  ignore
+    (Engine.spawn eng "recv" (fun () ->
+         for _ = 1 to 3 do
+           got := Mailbox.recv box :: !got
+         done));
+  ignore
+    (Engine.spawn eng "send" (fun () ->
+         Mailbox.send box "a";
+         Engine.sleep 1.0;
+         Mailbox.send box "b";
+         Mailbox.send box "c"));
+  Engine.run eng;
+  Alcotest.(check (list string)) "fifo order" [ "a"; "b"; "c" ] (List.rev !got)
+
+let test_mailbox_timeout_preserves_message () =
+  let eng = Engine.create () in
+  let box = Mailbox.create () in
+  let first = ref (Some "x") in
+  let second = ref None in
+  ignore
+    (Engine.spawn eng "recv" (fun () ->
+         first := Mailbox.recv_timeout box 1.0;
+         (* message arrives after the timeout; a later recv must get it *)
+         Engine.sleep 5.0;
+         second := Mailbox.recv_timeout box 1.0));
+  ignore
+    (Engine.spawn eng "send" (fun () ->
+         Engine.sleep 3.0;
+         Mailbox.send box "late"));
+  Engine.run eng;
+  Alcotest.(check (option string)) "first recv times out" None !first;
+  Alcotest.(check (option string)) "late message not lost" (Some "late") !second
+
+let test_errors_recorded () =
+  let eng = Engine.create () in
+  ignore (Engine.spawn eng "bomber" (fun () -> failwith "boom"));
+  Engine.run eng;
+  match Engine.errors eng with
+  | [ (name, Failure msg) ] ->
+      Alcotest.(check string) "fiber name" "bomber" name;
+      Alcotest.(check string) "message" "boom" msg
+  | _ -> Alcotest.fail "expected exactly one recorded error"
+
+let test_determinism () =
+  let run_once () =
+    let eng = Engine.create ~seed:3 () in
+    let log = Buffer.create 64 in
+    for i = 0 to 4 do
+      ignore
+        (Engine.spawn eng (Printf.sprintf "f%d" i) (fun () ->
+             Engine.sleep (float_of_int (5 - i));
+             Buffer.add_string log (Printf.sprintf "%d@%.0f;" i (Engine.now eng))))
+    done;
+    Engine.run eng;
+    Buffer.contents log
+  in
+  Alcotest.(check string) "identical runs" (run_once ()) (run_once ())
+
+let test_deadlock_guard () =
+  let eng = Engine.create ~max_steps:100 () in
+  ignore
+    (Engine.spawn eng "spinner" (fun () ->
+         while true do
+           Engine.yield ()
+         done));
+  Alcotest.(check bool) "step budget trips" true
+    (try
+       Engine.run eng;
+       false
+     with Engine.Deadlock _ -> true)
+
+let test_par_await_k () =
+  let eng = Engine.create () in
+  let ivars = Array.init 5 (fun _ -> Ivar.create ()) in
+  let done_at = ref 0.0 in
+  let count = ref 0 in
+  ignore
+    (Engine.spawn eng "waiter" (fun () ->
+         let completed = Par.await_k ivars 3 in
+         count := List.length completed;
+         done_at := Engine.now eng));
+  Array.iteri
+    (fun i iv ->
+      Engine.schedule eng (float_of_int (i + 1)) (fun () -> Ivar.fill iv i))
+    ivars;
+  Engine.run eng;
+  Alcotest.(check bool) "at least k completed" true (!count >= 3);
+  Alcotest.(check (float 0.0)) "returns when the k-th fills" 3.0 !done_at
+
+let test_par_await_k_timeout () =
+  let eng = Engine.create () in
+  let ivars = Array.init 3 (fun _ -> Ivar.create ()) in
+  Ivar.fill ivars.(1) "ready";
+  let got = ref [] in
+  ignore
+    (Engine.spawn eng "waiter" (fun () -> got := Par.await_k_timeout ivars 3 2.5));
+  Engine.run eng;
+  Alcotest.(check (list (pair int string)))
+    "timeout returns partial results" [ (1, "ready") ] !got
+
+let suite =
+  [
+    Alcotest.test_case "events fire at virtual times" `Quick test_virtual_time;
+    Alcotest.test_case "fiber sleeps accumulate" `Quick test_fiber_sleep;
+    Alcotest.test_case "ivar await/fill" `Quick test_ivar_basic;
+    Alcotest.test_case "ivar wakes all waiters" `Quick test_ivar_multiple_waiters;
+    Alcotest.test_case "ivar double fill raises" `Quick test_ivar_double_fill_raises;
+    Alcotest.test_case "ivar timeout" `Quick test_ivar_timeout;
+    Alcotest.test_case "ivar value beats deadline" `Quick test_ivar_timeout_beats_deadline;
+    Alcotest.test_case "cancellation stops a fiber" `Quick test_cancellation;
+    Alcotest.test_case "cancel before first step" `Quick test_cancelled_before_start;
+    Alcotest.test_case "mailbox is FIFO" `Quick test_mailbox_fifo;
+    Alcotest.test_case "mailbox timeout keeps late message" `Quick
+      test_mailbox_timeout_preserves_message;
+    Alcotest.test_case "fiber exceptions recorded" `Quick test_errors_recorded;
+    Alcotest.test_case "runs are deterministic" `Quick test_determinism;
+    Alcotest.test_case "step budget guards livelock" `Quick test_deadlock_guard;
+    Alcotest.test_case "Par.await_k waits for k-th completion" `Quick test_par_await_k;
+    Alcotest.test_case "Par.await_k_timeout returns partial" `Quick
+      test_par_await_k_timeout;
+  ]

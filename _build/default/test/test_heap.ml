@@ -1,0 +1,63 @@
+(* Unit tests for the event heap: ordering, determinism, stability. *)
+
+open Rdma_sim
+
+let test_ordering () =
+  let h = Heap.create () in
+  Heap.push h ~time:3.0 ~seq:1 "c";
+  Heap.push h ~time:1.0 ~seq:2 "a";
+  Heap.push h ~time:2.0 ~seq:3 "b";
+  let pop () =
+    match Heap.pop h with Some e -> e.Heap.payload | None -> "empty"
+  in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ());
+  Alcotest.(check string) "empty" "empty" (pop ())
+
+let test_same_time_fifo () =
+  let h = Heap.create () in
+  for i = 1 to 100 do
+    Heap.push h ~time:5.0 ~seq:i i
+  done;
+  for i = 1 to 100 do
+    match Heap.pop h with
+    | Some e -> Alcotest.(check int) "fifo at equal time" i e.Heap.payload
+    | None -> Alcotest.fail "heap exhausted early"
+  done
+
+let test_interleaved () =
+  let h = Heap.create () in
+  let n = 1000 in
+  let st = Random.State.make [| 7 |] in
+  let times = Array.init n (fun i -> (float_of_int (Random.State.int st 50), i)) in
+  Array.iteri (fun i (t, _) -> Heap.push h ~time:t ~seq:i i) times;
+  let prev = ref (-1.0, -1) in
+  for _ = 1 to n do
+    match Heap.pop h with
+    | None -> Alcotest.fail "heap exhausted early"
+    | Some e ->
+        let pt, ps = !prev in
+        if e.Heap.time < pt || (e.Heap.time = pt && e.Heap.seq < ps) then
+          Alcotest.fail "heap order violated";
+        prev := (e.Heap.time, e.Heap.seq)
+  done;
+  Alcotest.(check bool) "empty at end" true (Heap.is_empty h)
+
+let test_peek () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "peek empty" true (Heap.peek h = None);
+  Heap.push h ~time:2.0 ~seq:1 "x";
+  Heap.push h ~time:1.0 ~seq:2 "y";
+  (match Heap.peek h with
+  | Some e -> Alcotest.(check string) "peek min" "y" e.Heap.payload
+  | None -> Alcotest.fail "peek returned None");
+  Alcotest.(check int) "size unchanged by peek" 2 (Heap.size h)
+
+let suite =
+  [
+    Alcotest.test_case "pops in time order" `Quick test_ordering;
+    Alcotest.test_case "same-time entries pop FIFO" `Quick test_same_time_fifo;
+    Alcotest.test_case "random interleaving stays sorted" `Quick test_interleaved;
+    Alcotest.test_case "peek returns min without removing" `Quick test_peek;
+  ]

@@ -1,0 +1,35 @@
+let () =
+  Alcotest.run "rdma-agreement"
+    [
+      ("heap", Test_heap.suite);
+      ("engine", Test_engine.suite);
+      ("crypto", Test_crypto.suite);
+      ("memory", Test_memory.suite);
+      ("verbs", Test_verbs.suite);
+      ("swmr", Test_swmr.suite);
+      ("network", Test_network.suite);
+      ("failure-detector", Test_fd.suite);
+      ("codec", Test_codec.suite);
+      ("report", Test_report.suite);
+      ("paxos", Test_paxos.suite);
+      ("protected-paxos", Test_protected_paxos.suite);
+      ("protected-paxos-multi", Test_pmp_multi.suite);
+      ("disk-paxos", Test_disk_paxos.suite);
+      ("aligned-paxos", Test_aligned_paxos.suite);
+      ("fast-paxos", Test_fast_paxos.suite);
+      ("neb", Test_neb.suite);
+      ("trusted", Test_trusted.suite);
+      ("robust-backup", Test_robust_backup.suite);
+      ("preferential-paxos", Test_preferential.suite);
+      ("cheap-quorum", Test_cheap_quorum.suite);
+      ("fast-robust", Test_fast_robust.suite);
+      ("lower-bound", Test_probe.suite);
+      ("attacks", Test_attacks.suite);
+      ("smr", Test_smr.suite);
+      ("lock-service", Test_lock_service.suite);
+      ("bft-log", Test_bft_log.suite);
+      ("properties", Test_properties.suite);
+      ("stress", Test_stress.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("scale", Test_scale.suite);
+    ]

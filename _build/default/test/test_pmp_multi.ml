@@ -1,0 +1,124 @@
+(* Repeated Protected Memory Paxos: per-instance agreement/validity,
+   2-delays-per-decision in steady state, reign hand-over safety. *)
+
+open Rdma_consensus
+
+let input_for ~pid ~instance = Printf.sprintf "v%d.%d" pid instance
+
+let cfg slots = { Protected_paxos_multi.default_config with slots }
+
+let check_all reports ~n =
+  Array.iteri
+    (fun i report ->
+      Alcotest.(check bool)
+        (Printf.sprintf "agreement at instance %d" i)
+        true (Report.agreement_ok report);
+      Alcotest.(check int)
+        (Printf.sprintf "everyone decides instance %d" i)
+        n (Report.decided_count report))
+    reports
+
+let test_sequential_decisions () =
+  let n = 3 and m = 3 and slots = 4 in
+  let reports = Protected_paxos_multi.run ~cfg:(cfg slots) ~n ~m ~input_for () in
+  check_all reports ~n;
+  (* the stable leader proposes all values *)
+  Array.iteri
+    (fun i report ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "leader's value at instance %d" i)
+        (Some (Printf.sprintf "v0.%d" i))
+        (Report.decision_value report))
+    reports
+
+let test_two_delays_per_decision () =
+  (* Steady state: instance i is decided at 2(i+1) — one replicated
+     write each, the multi-instance extension of Theorem D.5. *)
+  let n = 3 and m = 3 and slots = 4 in
+  let reports = Protected_paxos_multi.run ~cfg:(cfg slots) ~n ~m ~input_for () in
+  Array.iteri
+    (fun i report ->
+      Alcotest.(check (option (float 0.0)))
+        (Printf.sprintf "instance %d decided at %d delays" i (2 * (i + 1)))
+        (Some (2.0 *. float_of_int (i + 1)))
+        (Report.first_decision_time report))
+    reports
+
+let test_leader_crash_mid_sequence () =
+  (* The leader dies between instances; the successor's takeover must
+     preserve every already-decided instance and finish the rest. *)
+  let n = 3 and m = 3 and slots = 4 in
+  let faults = [ Fault.Crash_process { pid = 0; at = 4.5 } ] in
+  let reports = Protected_paxos_multi.run ~cfg:(cfg slots) ~n ~m ~input_for ~faults () in
+  Array.iteri
+    (fun i report ->
+      Alcotest.(check bool)
+        (Printf.sprintf "agreement at instance %d" i)
+        true (Report.agreement_ok report);
+      Alcotest.(check bool)
+        (Printf.sprintf "survivors decide instance %d" i)
+        true
+        (Report.decided_count report >= 2))
+    reports;
+  (* instances 0 and 1 were decided by p0 before the crash at 4.5; the
+     successor must decide the same values *)
+  Alcotest.(check (option string)) "instance 0 value preserved" (Some "v0.0")
+    (Report.decision_value reports.(0));
+  Alcotest.(check (option string)) "instance 1 value preserved" (Some "v0.1")
+    (Report.decision_value reports.(1))
+
+let test_leader_crash_sweep () =
+  List.iter
+    (fun at ->
+      let n = 3 and m = 3 and slots = 3 in
+      let faults = [ Fault.Crash_process { pid = 0; at } ] in
+      let reports =
+        Protected_paxos_multi.run ~cfg:(cfg slots) ~n ~m ~input_for ~faults ()
+      in
+      Array.iteri
+        (fun i report ->
+          Alcotest.(check bool)
+            (Printf.sprintf "agreement at instance %d (crash at %.1f)" i at)
+            true (Report.agreement_ok report);
+          Alcotest.(check bool)
+            (Printf.sprintf "progress at instance %d (crash at %.1f)" i at)
+            true
+            (Report.decided_count report >= 2))
+        reports)
+    [ 0.5; 1.5; 2.5; 3.5; 5.5 ]
+
+let test_leader_flapping_safety () =
+  let n = 3 and m = 3 and slots = 3 in
+  let faults =
+    [
+      Fault.Set_leader { pid = 1; at = 1.0 };
+      Fault.Set_leader { pid = 2; at = 6.0 };
+      Fault.Set_leader { pid = 0; at = 14.0 };
+    ]
+  in
+  let reports = Protected_paxos_multi.run ~cfg:(cfg slots) ~n ~m ~input_for ~faults () in
+  Array.iteri
+    (fun i report ->
+      Alcotest.(check bool)
+        (Printf.sprintf "agreement at instance %d under flapping" i)
+        true (Report.agreement_ok report))
+    reports
+
+let test_memory_crash_tolerated () =
+  let n = 3 and m = 5 and slots = 3 in
+  let faults =
+    [ Fault.Crash_memory { mid = 0; at = 0.0 }; Fault.Crash_memory { mid = 3; at = 1.0 } ]
+  in
+  let reports = Protected_paxos_multi.run ~cfg:(cfg slots) ~n ~m ~input_for ~faults () in
+  check_all reports ~n
+
+let suite =
+  [
+    Alcotest.test_case "sequential decisions" `Quick test_sequential_decisions;
+    Alcotest.test_case "two delays per steady-state decision" `Quick
+      test_two_delays_per_decision;
+    Alcotest.test_case "leader crash mid-sequence" `Quick test_leader_crash_mid_sequence;
+    Alcotest.test_case "leader crash sweep" `Quick test_leader_crash_sweep;
+    Alcotest.test_case "leader flapping stays safe" `Quick test_leader_flapping_safety;
+    Alcotest.test_case "memory crashes tolerated" `Quick test_memory_crash_tolerated;
+  ]

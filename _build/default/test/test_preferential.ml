@@ -1,0 +1,133 @@
+(* Preferential Paxos (Algorithm 8, Lemma 4.7): the decision is one of
+   the fP + 1 highest-priority inputs, with evidence-verified
+   priorities. *)
+
+open Rdma_consensus
+
+(* A simple trusting classifier for crash-only tests: the evidence string
+   is the priority itself. *)
+let trusting : Preferential_paxos.classify =
+ fun ~value:_ ~evidence ->
+  match int_of_string_opt evidence with Some p when p >= 0 -> p | _ -> 0
+
+let test_highest_priority_wins () =
+  let n = 3 and m = 3 in
+  (* one top-priority input; everyone must adopt and decide it *)
+  let inputs = [| ("low0", "0"); ("high", "2"); ("low2", "0") |] in
+  let report, _ =
+    Preferential_paxos.run ~classify:trusting ~n ~m ~inputs ()
+  in
+  Alcotest.(check bool) "agreement" true (Report.agreement_ok report);
+  Alcotest.(check (option string)) "top priority decided" (Some "high")
+    (Report.decision_value report);
+  Alcotest.(check int) "all decide" n (Report.decided_count report)
+
+let test_majority_top_priority_always_decided () =
+  (* Lemma 4.7's consequence used by Fast & Robust: if ≥ f+1 processes
+     hold the top-priority value, it must be the decision. *)
+  List.iter
+    (fun seed ->
+      let n = 3 and m = 3 in
+      let inputs = [| ("vstar", "2"); ("vstar", "2"); ("other", "0") |] in
+      let report, _ =
+        Preferential_paxos.run ~classify:trusting ~seed ~n ~m ~inputs ()
+      in
+      Alcotest.(check (option string))
+        (Printf.sprintf "majority top value decided (seed %d)" seed)
+        (Some "vstar")
+        (Report.decision_value report))
+    [ 1; 2; 3 ]
+
+let test_priority_decision_bound () =
+  (* The decision is among the f+1 highest-priority inputs: with
+     priorities 3 > 2 > 1, and f = 1, the lowest input can never win. *)
+  let n = 3 and m = 3 in
+  let inputs = [| ("bottom", "0"); ("middle", "1"); ("top", "2") |] in
+  let report, _ = Preferential_paxos.run ~classify:trusting ~n ~m ~inputs () in
+  match Report.decision_value report with
+  | Some v ->
+      Alcotest.(check bool) "bottom input cannot be decided" true (v <> "bottom")
+  | None -> Alcotest.fail "no decision"
+
+let test_equal_priorities_agreement () =
+  let n = 3 and m = 3 in
+  let inputs = [| ("a", "0"); ("b", "0"); ("c", "0") |] in
+  let report, _ = Preferential_paxos.run ~classify:trusting ~n ~m ~inputs () in
+  Alcotest.(check bool) "agreement" true (Report.agreement_ok report);
+  Alcotest.(check bool) "validity" true
+    (Report.validity_ok report ~inputs:[| "a"; "b"; "c" |])
+
+let test_forged_priority_demoted () =
+  (* Definition 3 classification with a Byzantine claiming T priority on
+     garbage evidence: the verified classifier demotes it, and the
+     honest majority's value wins. *)
+  let n = 3 and m = 3 in
+  let classify_chain = ref None in
+  (* run via Fast_robust's classifier requires a chain; instead run with
+     a classifier that verifies "T" evidence structurally. *)
+  ignore classify_chain;
+  let classify : Preferential_paxos.classify =
+   fun ~value:_ ~evidence ->
+    match Codec.split2 evidence with
+    | Some ("T", proof) when proof = "valid" -> 2
+    | _ -> 0
+  in
+  let inputs =
+    [| ("honest", Codec.join2 "T" "valid"); ("honest", Codec.join2 "T" "valid");
+       ("unused", "0") |]
+  in
+  let byzantine = [ (2, Attacks.pp_priority_liar ~value:"liar") ] in
+  let report, byz =
+    Preferential_paxos.run ~classify ~n ~m ~inputs ~byzantine ()
+  in
+  Alcotest.(check bool) "agreement among correct" true
+    (Report.agreement_ok ~ignore_pids:byz report);
+  Alcotest.(check (option string)) "honest top-priority value decided" (Some "honest")
+    (Report.decision_value report)
+
+let test_single_top_priority_beats_majority () =
+  (* Lemma 4.7: a process can miss at most f higher-priority values, so
+     with n=3, f=1, a single top-priority input is seen by every process
+     that gathers n−f=2 inputs... unless it is the one missed.  The
+     decision must never be of lower priority than the (f+1)-th input:
+     here priorities are 2,0,0, so "bottom2" and "bottom1" are both
+     admissible, but run across seeds the top value must win whenever its
+     holder's set-up message arrives in time — and agreement always
+     holds. *)
+  List.iter
+    (fun seed ->
+      let n = 3 and m = 3 in
+      let inputs = [| ("top", "2"); ("bottom1", "0"); ("bottom2", "0") |] in
+      let report, _ = Preferential_paxos.run ~classify:trusting ~seed ~n ~m ~inputs () in
+      Alcotest.(check bool)
+        (Printf.sprintf "agreement (seed %d)" seed)
+        true (Report.agreement_ok report);
+      Alcotest.(check bool)
+        (Printf.sprintf "validity (seed %d)" seed)
+        true
+        (Report.validity_ok report ~inputs:[| "top"; "bottom1"; "bottom2" |]))
+    [ 1; 2; 3; 4 ]
+
+let test_crash_during_setup () =
+  let n = 3 and m = 3 in
+  let inputs = [| ("a", "1"); ("b", "0"); ("c", "0") |] in
+  let faults = [ Fault.Crash_process { pid = 0; at = 2.0 } ] in
+  let report, _ =
+    Preferential_paxos.run ~classify:trusting ~n ~m ~inputs ~faults ()
+  in
+  Alcotest.(check bool) "agreement" true (Report.agreement_ok report);
+  Alcotest.(check bool) "survivors decide" true (Report.decided_count report >= 2)
+
+let suite =
+  [
+    Alcotest.test_case "highest priority wins" `Quick test_highest_priority_wins;
+    Alcotest.test_case "majority top-priority always decided" `Quick
+      test_majority_top_priority_always_decided;
+    Alcotest.test_case "decision within top f+1 priorities" `Quick
+      test_priority_decision_bound;
+    Alcotest.test_case "equal priorities stay safe" `Quick test_equal_priorities_agreement;
+    Alcotest.test_case "forged priority demoted" `Quick test_forged_priority_demoted;
+    Alcotest.test_case "single top priority across seeds" `Quick
+      test_single_top_priority_beats_majority;
+    Alcotest.test_case "crash during set-up" `Quick test_crash_during_setup;
+  ]

@@ -1,0 +1,45 @@
+(* Theorem 6.1 made executable: the optimistic 2-deciding candidate works
+   in the common case, the proof's adversarial schedule breaks it, and
+   the dynamic-permission variant survives the same schedule. *)
+
+open Rdma_consensus
+
+let test_synchronous_candidate_is_fine () =
+  let r = Two_delay_probe.run_synchronous () in
+  Alcotest.(check bool) "agreement holds in the common case" false r.agreement_violated;
+  Alcotest.(check (float 0.0)) "the candidate is 2-deciding" 2.0 r.first_decision_at
+
+let test_adversarial_schedule_violates_agreement () =
+  let r = Two_delay_probe.run_adversarial () in
+  Alcotest.(check bool) "agreement violated (the Theorem 6.1 trap)" true
+    r.agreement_violated;
+  (* Both processes decided, on different values. *)
+  Alcotest.(check int) "both decided" 2 (List.length r.decisions)
+
+let test_revocation_restores_agreement () =
+  let r = Two_delay_probe.run_adversarial_with_revocation () in
+  Alcotest.(check bool) "dynamic permissions break the indistinguishability" false
+    r.agreement_violated
+
+let test_protected_paxos_survives_the_same_trap () =
+  (* End-to-end echo of the theorem: Protected Memory Paxos under a
+     leader change plus lingering writes stays safe (its lingering write
+     naks). *)
+  let n = 2 and m = 3 in
+  let inputs = [| "v0"; "v1" |] in
+  let faults = [ Fault.Set_leader { pid = 1; at = 0.5 } ] in
+  let report = Protected_paxos.run ~n ~m ~inputs ~faults () in
+  Alcotest.(check bool) "agreement" true (Report.agreement_ok report);
+  Alcotest.(check bool) "someone decides" true (Report.decided_count report >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "candidate 2-decides in common case" `Quick
+      test_synchronous_candidate_is_fine;
+    Alcotest.test_case "adversarial schedule violates agreement" `Quick
+      test_adversarial_schedule_violates_agreement;
+    Alcotest.test_case "revocation restores agreement" `Quick
+      test_revocation_restores_agreement;
+    Alcotest.test_case "Protected Memory Paxos survives the trap" `Quick
+      test_protected_paxos_survives_the_same_trap;
+  ]

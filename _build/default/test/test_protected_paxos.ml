@@ -1,0 +1,177 @@
+(* Protected Memory Paxos (Algorithm 7): the paper's headline crash-case
+   claims — 2-deciding, n ≥ fP + 1, m ≥ 2fM + 1 — plus permission
+   hand-off and failure sweeps. *)
+
+open Rdma_consensus
+
+let inputs n = Array.init n (fun i -> Printf.sprintf "v%d" i)
+
+let test_common_case_two_deciding () =
+  (* Theorem D.5: with a stable initial leader, p1 decides after a single
+     write — exactly two delays. *)
+  let n = 3 and m = 3 in
+  let report = Protected_paxos.run ~n ~m ~inputs:(inputs n) () in
+  Alcotest.(check bool) "agreement" true (Report.agreement_ok report);
+  Alcotest.(check (option (float 0.0))) "2-deciding" (Some 2.0)
+    (Report.first_decision_time report);
+  Alcotest.(check (option string)) "leader's value" (Some "v0")
+    (Report.decision_value report);
+  Alcotest.(check int) "everyone decides" n (Report.decided_count report)
+
+let test_n_equals_f_plus_one () =
+  (* n ≥ fP + 1: with n = 2, one process may crash and the other still
+     decides (message-passing consensus would need n ≥ 3 for f = 1). *)
+  let n = 2 and m = 3 in
+  let faults = [ Fault.Crash_process { pid = 1; at = 0.0 } ] in
+  let report = Protected_paxos.run ~n ~m ~inputs:(inputs n) ~faults () in
+  Alcotest.(check bool) "agreement" true (Report.agreement_ok report);
+  Alcotest.(check int) "survivor decides" 1 (Report.decided_count report)
+
+let test_all_but_one_crash () =
+  (* n = 4, three crash: the lone survivor must still decide. *)
+  let n = 4 and m = 3 in
+  let faults =
+    [
+      Fault.Crash_process { pid = 0; at = 0.1 };
+      Fault.Crash_process { pid = 1; at = 0.1 };
+      Fault.Crash_process { pid = 2; at = 0.1 };
+    ]
+  in
+  let report = Protected_paxos.run ~n ~m ~inputs:(inputs n) ~faults () in
+  Alcotest.(check int) "lone survivor decides" 1 (Report.decided_count report);
+  Alcotest.(check bool) "validity" true (Report.validity_ok report ~inputs:(inputs n))
+
+let test_minority_memory_crash () =
+  let n = 3 and m = 5 in
+  let faults =
+    [ Fault.Crash_memory { mid = 0; at = 0.0 }; Fault.Crash_memory { mid = 4; at = 0.0 } ]
+  in
+  let report = Protected_paxos.run ~n ~m ~inputs:(inputs n) ~faults () in
+  Alcotest.(check bool) "agreement" true (Report.agreement_ok report);
+  Alcotest.(check int) "all decide with 3/5 memories" n (Report.decided_count report)
+
+let test_majority_memory_crash_blocks () =
+  let n = 3 and m = 3 in
+  let faults =
+    [ Fault.Crash_memory { mid = 0; at = 0.0 }; Fault.Crash_memory { mid = 1; at = 0.0 } ]
+  in
+  let report = Protected_paxos.run ~n ~m ~inputs:(inputs n) ~faults () in
+  Alcotest.(check int) "no decision without memory majority" 0
+    (Report.decided_count report)
+
+let test_leader_crash_before_write () =
+  let n = 3 and m = 3 in
+  let faults = [ Fault.Crash_process { pid = 0; at = 0.5 } ] in
+  let report = Protected_paxos.run ~n ~m ~inputs:(inputs n) ~faults () in
+  Alcotest.(check bool) "agreement" true (Report.agreement_ok report);
+  Alcotest.(check bool) "survivors decide" true (Report.decided_count report >= 2);
+  Alcotest.(check bool) "validity" true (Report.validity_ok report ~inputs:(inputs n))
+
+let test_leader_crash_after_decide () =
+  (* p0 decides at 2.0 then crashes before everyone learns; the new
+     leader must decide p0's value (it reads p0's slot). *)
+  let n = 3 and m = 3 in
+  let faults = [ Fault.Crash_process { pid = 0; at = 2.25 } ] in
+  let report = Protected_paxos.run ~n ~m ~inputs:(inputs n) ~faults () in
+  Alcotest.(check bool) "agreement across leader generations" true
+    (Report.agreement_ok report);
+  (match report.Report.decisions.(0) with
+  | Some d ->
+      Alcotest.(check string) "p0 decided its value" "v0" d.Report.value;
+      (* every other decision must equal p0's *)
+      Array.iter
+        (function
+          | Some d' -> Alcotest.(check string) "successor preserves decision" "v0" d'.Report.value
+          | None -> ())
+        report.Report.decisions
+  | None -> Alcotest.fail "p0 should have decided before crashing");
+  Alcotest.(check bool) "survivors decide" true (Report.decided_count report >= 2)
+
+let test_leader_crash_sweep () =
+  (* Crash the leader at many cut points around its write; agreement must
+     hold at every one and survivors always decide. *)
+  List.iter
+    (fun at ->
+      let n = 3 and m = 3 in
+      let faults = [ Fault.Crash_process { pid = 0; at } ] in
+      let report = Protected_paxos.run ~n ~m ~inputs:(inputs n) ~faults () in
+      Alcotest.(check bool)
+        (Printf.sprintf "agreement (leader crash at %.2f)" at)
+        true (Report.agreement_ok report);
+      Alcotest.(check bool)
+        (Printf.sprintf "validity (leader crash at %.2f)" at)
+        true
+        (Report.validity_ok report ~inputs:(inputs n));
+      Alcotest.(check bool)
+        (Printf.sprintf "survivors decide (crash at %.2f)" at)
+        true
+        (Report.decided_count report >= 2))
+    [ 0.25; 0.75; 1.0; 1.25; 1.5; 1.75; 2.0 ]
+
+let test_deposed_leader_write_fails () =
+  (* The uncontended-instantaneous guarantee, end to end: Ω moves to p1
+     while p0 has not yet written; p1 takes the permissions; if p0's
+     write then lands it must nak, and p0 must not decide its own value
+     unless that is also p1's decision. *)
+  let n = 2 and m = 3 in
+  let faults = [ Fault.Set_leader { pid = 1; at = 0.0 } ] in
+  let report = Protected_paxos.run ~n ~m ~inputs:(inputs n) ~faults () in
+  Alcotest.(check bool) "agreement" true (Report.agreement_ok report);
+  Alcotest.(check bool) "someone decides" true (Report.decided_count report >= 1)
+
+let test_leader_flapping () =
+  let n = 3 and m = 3 in
+  let faults =
+    [
+      Fault.Set_leader { pid = 1; at = 1.0 };
+      Fault.Set_leader { pid = 2; at = 4.0 };
+      Fault.Set_leader { pid = 0; at = 9.0 };
+    ]
+  in
+  let report = Protected_paxos.run ~n ~m ~inputs:(inputs n) ~faults () in
+  Alcotest.(check bool) "agreement under flapping Ω" true (Report.agreement_ok report);
+  Alcotest.(check bool) "validity" true (Report.validity_ok report ~inputs:(inputs n));
+  Alcotest.(check bool) "eventually decides" true (Report.decided_count report >= 1)
+
+let test_combined_process_and_memory_faults () =
+  let n = 4 and m = 5 in
+  let faults =
+    [
+      Fault.Crash_memory { mid = 1; at = 0.5 };
+      Fault.Crash_process { pid = 0; at = 1.2 };
+      Fault.Crash_memory { mid = 3; at = 2.0 };
+      Fault.Crash_process { pid = 2; at = 6.0 };
+    ]
+  in
+  let report = Protected_paxos.run ~n ~m ~inputs:(inputs n) ~faults () in
+  Alcotest.(check bool) "agreement" true (Report.agreement_ok report);
+  Alcotest.(check bool) "validity" true (Report.validity_ok report ~inputs:(inputs n));
+  Alcotest.(check bool) "survivors decide" true (Report.decided_count report >= 2)
+
+let test_memory_op_counts () =
+  (* Common case: p1 writes one slot on each of the m memories and does
+     nothing else; followers do no memory operations before learning the
+     decision by message. *)
+  let n = 3 and m = 3 in
+  let report = Protected_paxos.run ~n ~m ~inputs:(inputs n) () in
+  Alcotest.(check int) "exactly m writes on the fast path" m report.Report.mem_ops
+
+let suite =
+  [
+    Alcotest.test_case "common case decides in 2 delays" `Quick
+      test_common_case_two_deciding;
+    Alcotest.test_case "n = f+1 resilience" `Quick test_n_equals_f_plus_one;
+    Alcotest.test_case "all but one process crash" `Quick test_all_but_one_crash;
+    Alcotest.test_case "minority memory crash tolerated" `Quick test_minority_memory_crash;
+    Alcotest.test_case "majority memory crash blocks" `Quick
+      test_majority_memory_crash_blocks;
+    Alcotest.test_case "leader crash before write" `Quick test_leader_crash_before_write;
+    Alcotest.test_case "leader crash after decide" `Quick test_leader_crash_after_decide;
+    Alcotest.test_case "leader crash sweep" `Quick test_leader_crash_sweep;
+    Alcotest.test_case "deposed leader cannot decide alone" `Quick
+      test_deposed_leader_write_fails;
+    Alcotest.test_case "leader flapping stays safe" `Quick test_leader_flapping;
+    Alcotest.test_case "mixed process+memory faults" `Quick
+      test_combined_process_and_memory_faults;
+    Alcotest.test_case "fast path uses m memory ops" `Quick test_memory_op_counts;
+  ]

@@ -1,0 +1,85 @@
+(* Stress sweeps: exhaustive small grids of (who crashes, when, seed)
+   checking the safety invariants of the flagship algorithms, plus the
+   I/O trace plumbing. *)
+
+open Rdma_consensus
+
+let inputs n = Array.init n (fun i -> Printf.sprintf "v%d" i)
+
+let test_fast_robust_crash_grid () =
+  (* Every (crashed pid, crash time, seed) in a small grid: agreement and
+     validity must hold in all of them; the fast-path value, when p0
+     decided, must survive. *)
+  let n = 3 and m = 3 in
+  List.iter
+    (fun pid ->
+      List.iter
+        (fun at ->
+          List.iter
+            (fun seed ->
+              let faults = [ Fault.Crash_process { pid; at } ] in
+              let report, _, _ = Fast_robust.run ~seed ~n ~m ~inputs:(inputs n) ~faults () in
+              let label = Printf.sprintf "p%d@%.1f seed=%d" pid at seed in
+              Alcotest.(check bool) ("agreement " ^ label) true
+                (Report.agreement_ok report);
+              Alcotest.(check bool) ("validity " ^ label) true
+                (Report.validity_ok report ~inputs:(inputs n));
+              Alcotest.(check bool) ("survivors decide " ^ label) true
+                (Report.decided_count report >= 2))
+            [ 1; 2 ])
+        [ 0.5; 1.5; 2.5; 40.0 ])
+    [ 0; 1; 2 ]
+
+let test_pmp_two_fault_grid () =
+  (* One process crash and one memory crash, swept jointly. *)
+  let n = 3 and m = 3 in
+  List.iter
+    (fun (pid, p_at) ->
+      List.iter
+        (fun (mid, m_at) ->
+          let faults =
+            [ Fault.Crash_process { pid; at = p_at }; Fault.Crash_memory { mid; at = m_at } ]
+          in
+          let report = Protected_paxos.run ~n ~m ~inputs:(inputs n) ~faults () in
+          let label = Printf.sprintf "p%d@%.1f mu%d@%.1f" pid p_at mid m_at in
+          Alcotest.(check bool) ("agreement " ^ label) true (Report.agreement_ok report);
+          Alcotest.(check bool) ("validity " ^ label) true
+            (Report.validity_ok report ~inputs:(inputs n));
+          Alcotest.(check bool) ("survivors decide " ^ label) true
+            (Report.decided_count report >= 1))
+        [ (0, 0.5); (1, 1.5); (2, 3.0) ])
+    [ (0, 1.0); (1, 2.0); (2, 10.0) ]
+
+let test_io_trace_captures_fast_path () =
+  (* enable_io_trace records the m slot writes of the 2-delay fast path. *)
+  let open Rdma_mm in
+  let open Rdma_sim in
+  let n = 2 and m = 3 in
+  let captured = ref None in
+  let prepare cluster =
+    captured := Some cluster;
+    Cluster.enable_io_trace cluster
+  in
+  let report = Protected_paxos.run ~n ~m ~inputs:(inputs n) ~prepare () in
+  Alcotest.(check bool) "decided" true (Report.decided_count report > 0);
+  match !captured with
+  | None -> Alcotest.fail "prepare hook never ran"
+  | Some cluster ->
+      let trace = Cluster.trace cluster in
+      let writes =
+        Trace.count trace (fun e ->
+            e.Trace.at = 1.0
+            && String.length e.Trace.label > 8
+            && String.sub e.Trace.label 0 8 = "p0 write")
+      in
+      Alcotest.(check int) "m slot writes arrive at t=1" m writes
+
+let suite =
+  [
+    Alcotest.test_case "fast-robust crash grid (24 runs)" `Slow
+      test_fast_robust_crash_grid;
+    Alcotest.test_case "protected-paxos two-fault grid (9 runs)" `Quick
+      test_pmp_two_fault_grid;
+    Alcotest.test_case "I/O trace captures the fast path" `Quick
+      test_io_trace_captures_fast_path;
+  ]
