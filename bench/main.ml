@@ -12,6 +12,13 @@
      dune exec bench/main.exe -- bechamel# wall-clock microbenches *)
 
 open Rdma_consensus
+open Rdma_obs
+
+(* --trace-out/--metrics-out (for the o1 experiment), parsed from argv
+   before experiment selection. *)
+let trace_out = ref None
+
+let metrics_out = ref None
 
 let section id title =
   Fmt.pr "@.==============================================================@.";
@@ -565,6 +572,54 @@ let exp_m1 () =
     (if Report.decided_count r > 0 then "decides" else "stuck")
 
 (* ------------------------------------------------------------------ *)
+(* O1: the telemetry subsystem itself — per-phase latency breakdown     *)
+(* ------------------------------------------------------------------ *)
+
+let exp_o1 () =
+  section "o1" "Observability: per-phase latency percentiles and trace export";
+  let n = 3 and m = 3 in
+  let row name run =
+    let captured = ref None in
+    let prepare cluster =
+      captured := Some cluster;
+      if !trace_out <> None then
+        Obs.set_recording (Rdma_mm.Cluster.obs cluster) true
+    in
+    let report = run ~prepare in
+    Fmt.pr "@.%s (n=%d, m=%d), first decision %s delays:@." name n m
+      (fmt_delay (Report.first_decision_time report));
+    Fmt.pr "%a@." Report.pp_phases report;
+    !captured
+  in
+  let (_ : _ option) =
+    row "Paxos" (fun ~prepare -> Paxos.run ~n ~inputs:(inputs n) ~prepare ())
+  in
+  let (_ : _ option) =
+    row "Fast & Robust" (fun ~prepare ->
+        let r, _, _ = Fast_robust.run ~n ~m ~inputs:(inputs n) ~prepare () in
+        r)
+  in
+  let captured =
+    row "Protected Memory Paxos" (fun ~prepare ->
+        Protected_paxos.run ~n ~m ~inputs:(inputs n) ~prepare ())
+  in
+  match captured with
+  | None -> ()
+  | Some cluster ->
+      let obs = Rdma_mm.Cluster.obs cluster in
+      Option.iter
+        (fun file ->
+          Export.write_trace obs ~file;
+          Fmt.pr "@.trace (protected-paxos run) written to %s (%d entries)@."
+            file (Obs.entry_count obs))
+        !trace_out;
+      Option.iter
+        (fun file ->
+          Export.write_metrics obs ~file;
+          Fmt.pr "metrics (protected-paxos run) written to %s@." file)
+        !metrics_out
+
+(* ------------------------------------------------------------------ *)
 (* B1: wall-clock microbenches (Bechamel)                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -658,14 +713,39 @@ let experiments =
     ("f1", exp_f1);
     ("f6", exp_f6);
     ("m1", exp_m1);
+    ("o1", exp_o1);
     ("bechamel", bechamel_benches);
   ]
 
 let () =
+  (* Split --trace-out/--metrics-out (with their FILE argument, = or
+     space separated) from the experiment ids. *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--trace-out" :: file :: rest ->
+        trace_out := Some file;
+        parse acc rest
+    | "--metrics-out" :: file :: rest ->
+        metrics_out := Some file;
+        parse acc rest
+    | arg :: rest when String.length arg > 12 && String.sub arg 0 12 = "--trace-out=" ->
+        trace_out := Some (String.sub arg 12 (String.length arg - 12));
+        parse acc rest
+    | arg :: rest
+      when String.length arg > 14 && String.sub arg 0 14 = "--metrics-out=" ->
+        metrics_out := Some (String.sub arg 14 (String.length arg - 14));
+        parse acc rest
+    | arg :: rest -> parse (arg :: acc) rest
+  in
+  let ids = parse [] (List.tl (Array.to_list Sys.argv)) in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as ids) -> ids
-    | _ -> List.map fst experiments
+    match ids with
+    | _ :: _ -> ids
+    | [] ->
+        (* A bare --trace-out run means "just the observability
+           experiment", not the full suite. *)
+        if !trace_out <> None || !metrics_out <> None then [ "o1" ]
+        else List.map fst experiments
   in
   List.iter
     (fun id ->

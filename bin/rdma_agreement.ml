@@ -9,6 +9,7 @@
 
 open Cmdliner
 open Rdma_consensus
+open Rdma_obs
 
 type algorithm = {
   name : string;
@@ -142,7 +143,23 @@ let run_cmd =
     let doc = "Print the I/O event trace (memory writes, permission changes, sends)." in
     Arg.(value & opt (some int) None & info [ "trace" ] ~docv:"N" ~doc)
   in
-  let action name n m seed inputs crash_procs crash_mems leaders gst trace =
+  let trace_out =
+    let doc =
+      "Write the full telemetry stream to $(docv): Chrome trace_event JSON \
+       (load in chrome://tracing or Perfetto), or JSONL if $(docv) ends in \
+       .jsonl.  Same seed, same bytes."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_out =
+    let doc =
+      "Write latency histograms (p50/p90/p99 per span name, incl. protocol \
+       phases) and counters to $(docv) as JSON."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  let action name n m seed inputs crash_procs crash_mems leaders gst trace
+      trace_out metrics_out =
     match find_algorithm name with
     | None ->
         Fmt.epr "unknown algorithm %s; try the list command@." name;
@@ -168,10 +185,12 @@ let run_cmd =
         let m = if algo.needs_memories then m else 0 in
         let captured = ref None in
         let prepare cluster =
-          if trace <> None then begin
-            captured := Some cluster;
-            Rdma_mm.Cluster.enable_io_trace cluster
-          end
+          captured := Some cluster;
+          if trace <> None then Rdma_mm.Cluster.enable_io_trace cluster;
+          (* Retaining the raw event/span stream costs memory, so it is
+             only on when an export was requested. *)
+          if trace_out <> None then
+            Obs.set_recording (Rdma_mm.Cluster.obs cluster) true
         in
         let report = algo.exec ~seed ~n ~m ~inputs ~faults ~prepare in
         Fmt.pr "algorithm : %s@." report.Report.algorithm;
@@ -194,6 +213,23 @@ let run_cmd =
         Fmt.pr "cost      : %d msgs, %d memory ops, %d signatures, %d sim events@."
           report.Report.messages report.Report.mem_ops report.Report.signatures
           report.Report.sim_steps;
+        if report.Report.phases <> [] then
+          Fmt.pr "@.phase latencies (delays):@.%a@." Report.pp_phases report;
+        (match !captured with
+        | None -> ()
+        | Some cluster ->
+            let obs = Rdma_mm.Cluster.obs cluster in
+            Option.iter
+              (fun file ->
+                Export.write_trace obs ~file;
+                Fmt.pr "@.trace written to %s (%d entries)@." file
+                  (Obs.entry_count obs))
+              trace_out;
+            Option.iter
+              (fun file ->
+                Export.write_metrics obs ~file;
+                Fmt.pr "metrics written to %s@." file)
+              metrics_out);
         match (trace, !captured) with
         | Some limit, Some cluster ->
             let events = Rdma_sim.Trace.events (Rdma_mm.Cluster.trace cluster) in
@@ -209,7 +245,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const action $ algo $ n $ m $ seed $ inputs $ crash_procs $ crash_mems $ leaders
-      $ gst $ trace)
+      $ gst $ trace $ trace_out $ metrics_out)
 
 let fuzz_cmd =
   let algo =
@@ -323,6 +359,27 @@ let log_cmd =
   Cmd.v (Cmd.info "log" ~doc)
     Term.(const action $ kind $ slots $ n $ m $ seed $ crash_procs)
 
+let validate_trace_cmd =
+  let file =
+    let doc = "Chrome trace JSON file to validate." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let action file =
+    let ic = open_in_bin file in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    match Export.validate_chrome contents with
+    | Ok (events, tracks) ->
+        Fmt.pr "%s: valid Chrome trace, %d events on %d tracks@." file events
+          tracks
+    | Error msg ->
+        Fmt.epr "%s: INVALID trace: %s@." file msg;
+        exit 1
+  in
+  let doc = "Structurally validate a Chrome trace produced by run --trace-out." in
+  Cmd.v (Cmd.info "validate-trace" ~doc) Term.(const action $ file)
+
 let list_cmd =
   let action () =
     Fmt.pr "available algorithms:@.";
@@ -334,4 +391,4 @@ let list_cmd =
 let () =
   let doc = "Consensus on simulated RDMA (The Impact of RDMA on Agreement, PODC'19)" in
   let info = Cmd.info "rdma_agreement" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; fuzz_cmd; log_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; fuzz_cmd; log_cmd; validate_trace_cmd; list_cmd ]))

@@ -371,5 +371,6 @@ let run ?(cfg = default_config) ?(seed = 1) ?(faults = []) ?(prepare = fun _ -> 
     | Disk -> "aligned-paxos-disk"
   in
   Report.of_stats ~algorithm:name ~n ~m ~decisions
+    ~obs:(Cluster.obs cluster)
     ~stats:(Cluster.stats cluster)
-    ~steps:(Engine.steps (Cluster.engine cluster))
+    ~steps:(Engine.steps (Cluster.engine cluster)) ()

@@ -20,6 +20,7 @@
 open Rdma_sim
 open Rdma_mm
 open Rdma_crypto
+open Rdma_obs
 
 (* {2 Definition 3 evidence} *)
 
@@ -88,11 +89,18 @@ let legal_change ~n = Cheap_quorum.legal_change ~n
 (* The per-process program: Cheap Quorum, then Preferential Paxos. *)
 let program (ctx : _ Cluster.ctx) cfg ~input decision =
   let n = ctx.Cluster.cluster_n in
-  let outcome = Cheap_quorum.participate ctx ~cfg:cfg.cheap_quorum ~input () in
+  let obs = ctx.Cluster.ctx_obs in
+  let actor = Printf.sprintf "p%d" ctx.Cluster.pid in
+  let outcome =
+    Obs.with_span obs ~actor ~cat:"phase" "fr.cheap-quorum" (fun () ->
+        Cheap_quorum.participate ctx ~cfg:cfg.cheap_quorum ~input ())
+  in
   let value, evidence =
     match outcome with
     | Cheap_quorum.Decided { value; at; proof } ->
-        ignore (Ivar.try_fill decision { Report.value; at });
+        if Ivar.try_fill decision { Report.value; at } then
+          Obs.event obs ~actor
+            (Event.Decide { pid = ctx.Cluster.pid; value });
         if ctx.Cluster.pid = Cheap_quorum.leader then
           Stats.set ctx.Cluster.ctx_stats "sigs_at_fast_decision"
             (Stats.get ctx.Cluster.ctx_stats
@@ -112,13 +120,20 @@ let program (ctx : _ Cluster.ctx) cfg ~input decision =
     | Cheap_quorum.Unanimity _ -> "T"
     | Cheap_quorum.Leader_signed _ -> "M"
     | Cheap_quorum.Bare -> "B");
+  (* The backup phase runs in auxiliary fibers; open the span here and
+     close it when the backup's decision lands (or never, if it doesn't —
+     an unfinished span in the trace is the signal). *)
+  let backup_span = Obs.span obs ~actor ~cat:"phase" "fr.preferential" in
   let pp =
     Preferential_paxos.attach ctx ~cfg:cfg.preferential
       ~classify:(classify ~ns:(ns_of cfg) ctx.Cluster.chain ~n)
       ~value ~evidence:(encode_evidence evidence) ()
   in
   Ivar.on_fill (Preferential_paxos.decision pp) (fun d ->
-      ignore (Ivar.try_fill decision d))
+      Obs.finish obs backup_span;
+      if Ivar.try_fill decision d then
+        Obs.event obs ~actor
+          (Event.Decide { pid = ctx.Cluster.pid; value = d.Report.value }))
 
 (* Run one instance from inside an existing process fiber (blocking
    through the Cheap Quorum phase); the returned ivar fills on decision.
@@ -154,7 +169,8 @@ let run ?(cfg = default_config) ?(seed = 1) ?(faults = [])
   in
   let report =
     Report.of_stats ~algorithm:"fast-robust" ~n ~m ~decisions
-      ~stats:(Cluster.stats cluster)
-      ~steps:(Engine.steps (Cluster.engine cluster))
+      ~obs:(Cluster.obs cluster)
+    ~stats:(Cluster.stats cluster)
+      ~steps:(Engine.steps (Cluster.engine cluster)) ()
   in
   (report, List.map fst byzantine, cluster)

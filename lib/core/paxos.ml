@@ -14,6 +14,7 @@
 
 open Rdma_sim
 open Rdma_mm
+open Rdma_obs
 
 type msg =
   | Prepare of { ballot : int }
@@ -83,8 +84,10 @@ module Make (T : Transport.S) = struct
   let majority t = (T.n t.tr / 2) + 1
 
   let decide t value =
-    ignore
-      (Ivar.try_fill t.decision { Report.value; at = Engine.now t.engine })
+    if Ivar.try_fill t.decision { Report.value; at = Engine.now t.engine } then
+      Obs.event (Engine.obs t.engine)
+        ~actor:(Printf.sprintf "p%d" (me t))
+        (Event.Decide { pid = me t; value })
 
   (* Route incoming messages to the role that consumes them.  A Decide
      both records the decision and poisons the role mailboxes so their
@@ -165,6 +168,8 @@ module Make (T : Transport.S) = struct
     loop [] []
 
   let proposer t =
+    let obs = Engine.obs t.engine in
+    let actor = Printf.sprintf "p%d" (me t) in
     let round = ref 0 in
     let continue = ref true in
     while !continue && not (Ivar.is_full t.decision) do
@@ -175,14 +180,16 @@ module Make (T : Transport.S) = struct
         if !round > t.cfg.max_rounds then continue := false
         else begin
           let ballot = (!round * T.n t.tr) + me t + 1 in
-          T.broadcast t.tr (encode (Prepare { ballot }));
           let phase1 =
-            collect_replies t ~ballot ~quorum:(majority t) ~extract:(fun _ m ->
-                match m with
-                | Promise { ballot = b; accepted_ballot; accepted_value }
-                  when b = ballot ->
-                    Some (accepted_ballot, accepted_value)
-                | _ -> None)
+            Obs.with_span obs ~actor ~cat:"phase" "paxos.phase1" (fun () ->
+                T.broadcast t.tr (encode (Prepare { ballot }));
+                collect_replies t ~ballot ~quorum:(majority t)
+                  ~extract:(fun _ m ->
+                    match m with
+                    | Promise { ballot = b; accepted_ballot; accepted_value }
+                      when b = ballot ->
+                        Some (accepted_ballot, accepted_value)
+                    | _ -> None))
           in
           match phase1 with
           | Decided -> continue := false
@@ -199,12 +206,14 @@ module Make (T : Transport.S) = struct
                 in
                 match best with Some (_, v) -> v | None -> t.input
               in
-              T.broadcast t.tr (encode (Accept { ballot; value }));
               let phase2 =
-                collect_replies t ~ballot ~quorum:(majority t) ~extract:(fun _ m ->
-                    match m with
-                    | Accepted { ballot = b } when b = ballot -> Some ()
-                    | _ -> None)
+                Obs.with_span obs ~actor ~cat:"phase" "paxos.phase2" (fun () ->
+                    T.broadcast t.tr (encode (Accept { ballot; value }));
+                    collect_replies t ~ballot ~quorum:(majority t)
+                      ~extract:(fun _ m ->
+                        match m with
+                        | Accepted { ballot = b } when b = ballot -> Some ()
+                        | _ -> None))
               in
               match phase2 with
               | Decided -> continue := false
@@ -262,5 +271,6 @@ let run ?(cfg = default_config) ?(seed = 1) ?(faults = []) ?(prepare = fun _ -> 
   Cluster.check_errors cluster;
   let decisions = Array.map (fun h -> Ivar.peek (Over_network.decision h)) handles in
   Report.of_stats ~algorithm:"paxos" ~n ~m:0 ~decisions
+    ~obs:(Cluster.obs cluster)
     ~stats:(Cluster.stats cluster)
-    ~steps:(Engine.steps (Cluster.engine cluster))
+    ~steps:(Engine.steps (Cluster.engine cluster)) ()

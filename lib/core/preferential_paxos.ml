@@ -137,7 +137,8 @@ let run ?(cfg = default_config) ?(classify = no_priorities) ?(seed = 1) ?(faults
   in
   let report =
     Report.of_stats ~algorithm:"preferential-paxos" ~n ~m ~decisions
-      ~stats:(Cluster.stats cluster)
-      ~steps:(Engine.steps (Cluster.engine cluster))
+      ~obs:(Cluster.obs cluster)
+    ~stats:(Cluster.stats cluster)
+      ~steps:(Engine.steps (Cluster.engine cluster)) ()
   in
   (report, List.map fst byzantine)

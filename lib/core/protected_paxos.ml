@@ -17,6 +17,7 @@ open Rdma_sim
 open Rdma_mem
 open Rdma_mm
 open Rdma_net
+open Rdma_obs
 
 let region = "pmp"
 
@@ -105,9 +106,13 @@ let listener (ctx : _ Cluster.ctx) decision =
     let _, payload = Network.recv ctx.Cluster.ep in
     match Codec.split2 payload with
     | Some ("decide", v) ->
-        ignore
-          (Ivar.try_fill decision
-             { Report.value = v; at = Engine.now ctx.Cluster.ctx_engine });
+        if
+          Ivar.try_fill decision
+            { Report.value = v; at = Engine.now ctx.Cluster.ctx_engine }
+        then
+          Obs.event ctx.Cluster.ctx_obs
+            ~actor:(Printf.sprintf "p%d" ctx.Cluster.pid)
+            (Event.Decide { pid = ctx.Cluster.pid; value = v });
         continue := false
     | _ -> ()
   done
@@ -117,6 +122,8 @@ let proposer (ctx : _ Cluster.ctx) cfg ~input decision =
   let m = ctx.Cluster.cluster_m in
   let me = ctx.Cluster.pid in
   let client = ctx.Cluster.client in
+  let obs = ctx.Cluster.ctx_obs in
+  let actor = Printf.sprintf "p%d" me in
   let f_m = match cfg.f_m with Some f -> f | None -> (m - 1) / 2 in
   let quorum = m - f_m in
   if quorum <= 0 || f_m < 0 then invalid_arg "Protected_paxos: bad f_m";
@@ -135,7 +142,8 @@ let proposer (ctx : _ Cluster.ctx) cfg ~input decision =
            holds the write permission everywhere, so a successful phase-2
            write certifies no rival ever took over. *)
         let my_value = ref (Some input) in
-        (if (not (me = 0)) || not !first_attempt then begin
+        (if (not (me = 0)) || not !first_attempt then
+           Obs.with_span obs ~actor ~cat:"phase" "pmp.phase1" @@ fun () ->
            let chains = Array.init m (fun _ -> Ivar.create ()) in
            for i = 0 to m - 1 do
              ctx.Cluster.spawn_sub
@@ -171,28 +179,31 @@ let proposer (ctx : _ Cluster.ctx) cfg ~input decision =
                match !best with
                | Some (_, v) -> my_value := Some v
                | None -> my_value := Some input
-           end
-         end);
+           end);
         first_attempt := false;
         match !my_value with
         | None -> () (* retry: deposed or outpaced during phase 1 *)
-        | Some value -> (
+        | Some value ->
             (* Phase 2: write (propNr, propNr, value) to our slot on every
                memory; if all m - fM collected responses are acks, no
                rival acquired the permission — decide. *)
-            let writes =
-              Memclient.write_all_async client ~region ~reg:(slot_reg me)
-                (encode_slot ~min_prop:prop_nr ~acc_prop:prop_nr ~value)
-            in
-            let completed = Par.await_k writes quorum in
-            if List.for_all (fun (_, r) -> r = Memory.Ack) completed then begin
-              ignore
-                (Ivar.try_fill decision
-                   { Report.value; at = Engine.now ctx.Cluster.ctx_engine });
-              announce ctx value;
-              continue := false
-            end
-            else ( (* a write was nak'd: someone took the permission *) ))
+            Obs.with_span obs ~actor ~cat:"phase" "pmp.phase2" (fun () ->
+                let writes =
+                  Memclient.write_all_async client ~region ~reg:(slot_reg me)
+                    (encode_slot ~min_prop:prop_nr ~acc_prop:prop_nr ~value)
+                in
+                let completed = Par.await_k writes quorum in
+                if List.for_all (fun (_, r) -> r = Memory.Ack) completed
+                then begin
+                  if
+                    Ivar.try_fill decision
+                      { Report.value; at = Engine.now ctx.Cluster.ctx_engine }
+                  then
+                    Obs.event obs ~actor (Event.Decide { pid = me; value });
+                  announce ctx value;
+                  continue := false
+                end
+                (* else: a write was nak'd — someone took the permission *))
       end
     end
   done
@@ -217,5 +228,6 @@ let run ?(cfg = default_config) ?(seed = 1) ?(faults = []) ?(prepare = fun _ -> 
   Cluster.check_errors cluster;
   let decisions = Array.map (fun h -> Ivar.peek h.decision) handles in
   Report.of_stats ~algorithm:"protected-memory-paxos" ~n ~m ~decisions
+    ~obs:(Cluster.obs cluster)
     ~stats:(Cluster.stats cluster)
-    ~steps:(Engine.steps (Cluster.engine cluster))
+    ~steps:(Engine.steps (Cluster.engine cluster)) ()

@@ -257,5 +257,6 @@ let run ?(cfg = default_config) ?(seed = 1) ?(faults = []) ?(prepare = fun _ -> 
       Report.of_stats
         ~algorithm:(Printf.sprintf "protected-paxos-multi[%d]" instance)
         ~n ~m ~decisions
-        ~stats:(Cluster.stats cluster)
-        ~steps:(Engine.steps (Cluster.engine cluster)))
+        ~obs:(Cluster.obs cluster)
+    ~stats:(Cluster.stats cluster)
+        ~steps:(Engine.steps (Cluster.engine cluster)) ())

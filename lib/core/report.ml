@@ -6,8 +6,20 @@
    checks used throughout the tests and benches live here too. *)
 
 open Rdma_sim
+open Rdma_obs
 
 type decision = { value : string; at : float }
+
+(* One protocol phase's latency distribution over the run, distilled from
+   the telemetry histograms (spans recorded under ~cat:"phase"). *)
+type phase = {
+  phase : string;
+  count : int;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  worst : float;
+}
 
 type t = {
   algorithm : string;
@@ -21,9 +33,23 @@ type t = {
   sim_steps : int;
   wall_events : int;
   named : (string * int) list; (* snapshot of the named counters *)
+  phases : phase list; (* per-phase latency breakdown, sorted by name *)
 }
 
-let of_stats ~algorithm ~n ~m ~decisions ~(stats : Stats.t) ~steps =
+let phases_of_obs obs =
+  List.map
+    (fun (name, (s : Hist.summary)) ->
+      {
+        phase = name;
+        count = s.Hist.count;
+        p50 = s.Hist.p50;
+        p90 = s.Hist.p90;
+        p99 = s.Hist.p99;
+        worst = s.Hist.max;
+      })
+    (Obs.summaries ~cat:"phase" obs)
+
+let of_stats ?obs ~algorithm ~n ~m ~decisions ~(stats : Stats.t) ~steps () =
   {
     algorithm;
     n;
@@ -35,9 +61,8 @@ let of_stats ~algorithm ~n ~m ~decisions ~(stats : Stats.t) ~steps =
     verifications = stats.Stats.verifications;
     sim_steps = steps;
     wall_events = steps;
-    named =
-      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) stats.Stats.named []
-      |> List.sort compare;
+    named = Stats.named_sorted stats;
+    phases = (match obs with None -> [] | Some obs -> phases_of_obs obs);
   }
 
 let named t key =
@@ -88,3 +113,12 @@ let pp ppf t =
     t.algorithm t.n t.m (decided_count t) t.n
     Fmt.(option ~none:(any "-") (fmt "%.1f"))
     (first_decision_time t) t.messages t.mem_ops t.signatures
+
+let pp_phase ppf p =
+  Fmt.pf ppf "%-20s n=%-5d p50=%-8.2f p90=%-8.2f p99=%-8.2f worst=%.2f"
+    p.phase p.count p.p50 p.p90 p.p99 p.worst
+
+let pp_phases ppf t =
+  match t.phases with
+  | [] -> Fmt.pf ppf "(no phase telemetry)"
+  | ps -> Fmt.(list ~sep:(any "@\n") pp_phase) ppf ps

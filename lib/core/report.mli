@@ -2,8 +2,20 @@
     (= delay counts) and substrate counters. *)
 
 open Rdma_sim
+open Rdma_obs
 
 type decision = { value : string; at : float }
+
+(** One protocol phase's latency distribution over the run (times in
+    delays), distilled from the spans recorded under [~cat:"phase"]. *)
+type phase = {
+  phase : string;
+  count : int;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  worst : float;
+}
 
 type t = {
   algorithm : string;
@@ -17,15 +29,20 @@ type t = {
   sim_steps : int;
   wall_events : int;
   named : (string * int) list;  (** snapshot of the named counters *)
+  phases : phase list;  (** per-phase latency breakdown, sorted by name *)
 }
 
+(** [obs], when given, fills {!field-phases} from the collector's
+    [~cat:"phase"] histograms. *)
 val of_stats :
+  ?obs:Obs.t ->
   algorithm:string ->
   n:int ->
   m:int ->
   decisions:decision option array ->
   stats:Stats.t ->
   steps:int ->
+  unit ->
   t
 
 (** Look up a named counter (0 if absent). *)
@@ -49,3 +66,8 @@ val last_decision_time : t -> float option
 val decision_value : t -> string option
 
 val pp : Format.formatter -> t -> unit
+
+val pp_phase : Format.formatter -> phase -> unit
+
+(** The per-phase latency table ({!field-phases}). *)
+val pp_phases : Format.formatter -> t -> unit

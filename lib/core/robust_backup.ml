@@ -331,7 +331,8 @@ let run ?(cfg = default_config) ?(seed = 1) ?(faults = [])
   let ignore_pids = List.map fst byzantine in
   let report =
     Report.of_stats ~algorithm:"robust-backup" ~n ~m ~decisions
-      ~stats:(Cluster.stats cluster)
-      ~steps:(Engine.steps (Cluster.engine cluster))
+      ~obs:(Cluster.obs cluster)
+    ~stats:(Cluster.stats cluster)
+      ~steps:(Engine.steps (Cluster.engine cluster)) ()
   in
   (report, ignore_pids)

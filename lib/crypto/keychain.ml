@@ -9,7 +9,7 @@
 type t = {
   secrets : string array;
   mutable on_sign : int -> unit; (* receives the signer's pid *)
-  mutable on_verify : unit -> unit;
+  mutable on_verify : ok:bool -> unit; (* receives the verdict *)
 }
 
 type signer = { pid : int; chain : t }
@@ -20,7 +20,7 @@ let create ?(seed = 42) ~n () =
   let secrets =
     Array.init n (fun i -> Sha256.digest_string (Printf.sprintf "secret-%d-%d" seed i))
   in
-  { secrets; on_sign = (fun _ -> ()); on_verify = (fun () -> ()) }
+  { secrets; on_sign = (fun _ -> ()); on_verify = (fun ~ok:_ -> ()) }
 
 let set_hooks t ~on_sign ~on_verify =
   t.on_sign <- on_sign;
@@ -49,10 +49,13 @@ let forge ~author payload =
   { author; tag = Hmac.mac ~key:"forged" (payload_key author payload) }
 
 let valid t ~author payload signature =
-  t.on_verify ();
-  signature.author = author
-  && Hmac.equal signature.tag
-       (Hmac.mac ~key:t.secrets.(author) (payload_key author payload))
+  let ok =
+    signature.author = author
+    && Hmac.equal signature.tag
+         (Hmac.mac ~key:t.secrets.(author) (payload_key author payload))
+  in
+  t.on_verify ~ok;
+  ok
 
 (* sValid(p, v) where the signature carries its claimed author. *)
 let s_valid t payload signature = valid t ~author:signature.author payload signature

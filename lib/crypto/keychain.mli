@@ -13,8 +13,9 @@ type signature
 val create : ?seed:int -> n:int -> unit -> t
 
 (** Install counters (used by the cluster to count signatures and
-    verifications per run); [on_sign] receives the signer's pid. *)
-val set_hooks : t -> on_sign:(int -> unit) -> on_verify:(unit -> unit) -> unit
+    verifications per run); [on_sign] receives the signer's pid,
+    [on_verify] the verification verdict. *)
+val set_hooks : t -> on_sign:(int -> unit) -> on_verify:(ok:bool -> unit) -> unit
 
 (** The signing capability of process [pid].  Handed to a process by the
     cluster at registration; honest and Byzantine programs alike can only

@@ -10,6 +10,7 @@ open Rdma_sim
 open Rdma_mem
 open Rdma_net
 open Rdma_crypto
+open Rdma_obs
 
 type 'm t = {
   engine : Engine.t;
@@ -45,6 +46,7 @@ type 'm ctx = {
   ctx_omega : Omega.t;
   ctx_stats : Stats.t;
   ctx_trace : Trace.t;
+  ctx_obs : Obs.t;
   (* Spawn an auxiliary fiber belonging to this process: it dies with the
      process when a crash is injected. *)
   spawn_sub : string -> (unit -> unit) -> unit;
@@ -56,11 +58,15 @@ let create ?(seed = 1) ?(max_steps = 20_000_000) ?(latency = 1.0)
   let stats = Stats.create () in
   let trace = Trace.create () in
   let keychain = Keychain.create ~seed ~n () in
+  let obs = Engine.obs engine in
   Keychain.set_hooks keychain
     ~on_sign:(fun pid ->
       Stats.incr_signatures stats;
-      Stats.bump stats (Printf.sprintf "sigs.p%d" pid))
-    ~on_verify:(fun () -> Stats.incr_verifications stats);
+      Stats.bump stats (Printf.sprintf "sigs.p%d" pid);
+      Obs.event obs ~actor:(Printf.sprintf "p%d" pid) (Event.Sign { pid }))
+    ~on_verify:(fun ~ok ->
+      Stats.incr_verifications stats;
+      Obs.event obs ~actor:"crypto" (Event.Verify { ok }));
   let memories =
     Array.init m (fun mid ->
         Memory.create ~one_way:(latency *. 1.0) ~legal_change ~engine ~stats ~mid ())
@@ -105,23 +111,27 @@ let omega t = t.omega
 
 let keychain t = t.keychain
 
+let obs t = Engine.obs t.engine
+
 let set_auto_leader t flag = t.auto_leader <- flag
 
 (* Record every memory write/permission change and every message send
    into the cluster trace — heavyweight; for debugging and the CLI's
-   --trace flag. *)
+   --trace flag.  Implemented as a subscriber on the typed telemetry
+   stream; the line formats predate the telemetry subsystem and are kept
+   for the human-readable `--trace` output. *)
 let enable_io_trace t =
-  Array.iter
-    (fun mem ->
-      Memory.set_tracer mem (fun line ->
-          Trace.record t.trace ~at:(Engine.now t.engine)
-            ~actor:(Printf.sprintf "mu%d" (Memory.id mem))
-            line))
-    t.memories;
-  Network.set_tracer t.net (fun ~src ~dst ->
-      Trace.recordf t.trace ~at:(Engine.now t.engine)
-        ~actor:(Printf.sprintf "p%d" src)
-        "send -> p%d" dst)
+  Obs.subscribe (obs t) (fun ~at ~actor ev ->
+      let record fmt = Trace.recordf t.trace ~at ~actor fmt in
+      match (ev : Event.t) with
+      | Mem_write { pid; region; reg; value; ok; _ } ->
+          if ok then record "p%d write %s/%s := %s -> ack" pid region reg value
+          else record "p%d write %s/%s -> nak" pid region reg
+      | Mem_perm { pid; region; applied; _ } ->
+          record "p%d changePermission %s -> %s" pid region
+            (if applied then "applied" else "refused")
+      | Net_send { dst; _ } -> record "send -> p%d" dst
+      | _ -> ())
 
 let set_detection_delay t d = t.detection_delay <- d
 
@@ -149,6 +159,7 @@ let ctx t pid =
     ctx_omega = t.omega;
     ctx_stats = t.stats;
     ctx_trace = t.trace;
+    ctx_obs = Engine.obs t.engine;
     spawn_sub;
   }
 

@@ -6,6 +6,7 @@ open Rdma_sim
 open Rdma_mem
 open Rdma_net
 open Rdma_crypto
+open Rdma_obs
 
 type 'm t
 
@@ -23,6 +24,7 @@ type 'm ctx = {
   ctx_omega : Omega.t;
   ctx_stats : Stats.t;
   ctx_trace : Trace.t;
+  ctx_obs : Obs.t;
   spawn_sub : string -> (unit -> unit) -> unit;
       (** Spawn an auxiliary fiber belonging to this process; it dies with
           the process when a crash is injected. *)
@@ -58,6 +60,10 @@ val net : 'm t -> 'm Network.t
 val omega : 'm t -> Omega.t
 
 val keychain : 'm t -> Keychain.t
+
+(** The engine's telemetry collector (shared by every layer of this
+    cluster). *)
+val obs : 'm t -> Obs.t
 
 (** Record every memory write/permission change and message send into
     the cluster trace (heavyweight; for debugging). *)

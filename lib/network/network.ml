@@ -14,12 +14,14 @@
    the model). *)
 
 open Rdma_sim
+open Rdma_obs
 
 type 'm envelope = { from : int; payload : 'm }
 
 type 'm t = {
   engine : Engine.t;
   stats : Stats.t;
+  obs : Obs.t;
   n : int;
   boxes : 'm envelope Mailbox.t array;
   mutable base_latency : src:int -> dst:int -> float;
@@ -30,13 +32,13 @@ type 'm t = {
       (* temporarily severed ordered pairs: messages are buffered, not
          dropped (no-loss), and flushed when the partition heals *)
   mutable buffered : (int * int * 'm envelope) list;
-  mutable tracer : (src:int -> dst:int -> unit) option;
 }
 
 let create ?(latency = 1.0) ~engine ~stats ~n () =
   {
     engine;
     stats;
+    obs = Engine.obs engine;
     n;
     boxes = Array.init n (fun _ -> Mailbox.create ());
     base_latency = (fun ~src:_ ~dst:_ -> latency);
@@ -44,7 +46,6 @@ let create ?(latency = 1.0) ~engine ~stats ~n () =
     pre_gst_extra = (fun ~src:_ ~dst:_ ~now:_ -> 0.);
     partitioned = [];
     buffered = [];
-    tracer = None;
   }
 
 let n t = t.n
@@ -67,6 +68,17 @@ let set_gst t ~at ~extra =
 
 let partition t pairs = t.partitioned <- pairs @ t.partitioned
 
+(* Schedule the final delivery leg: the typed deliver event fires at
+   arrival time, on the receiver's track, and the link latency feeds the
+   [net.latency] histogram. *)
+let schedule_delivery t ~src ~dst ~delay env =
+  Obs.observe t.obs ~cat:"net" "net.latency" delay;
+  Engine.schedule t.engine delay (fun () ->
+      Obs.event t.obs
+        ~actor:(Printf.sprintf "p%d" dst)
+        (Event.Net_deliver { src; dst });
+      Mailbox.send t.boxes.(dst) env)
+
 let heal t =
   t.partitioned <- [];
   let pending = List.rev t.buffered in
@@ -74,21 +86,19 @@ let heal t =
   List.iter
     (fun (src, dst, env) ->
       let d = t.base_latency ~src ~dst in
-      Engine.schedule t.engine d (fun () -> Mailbox.send t.boxes.(dst) env))
+      schedule_delivery t ~src ~dst ~delay:d env)
     pending
-
-let set_tracer t f = t.tracer <- Some f
 
 let deliver t ~src ~dst payload =
   Stats.incr_messages t.stats;
-  (match t.tracer with Some f -> f ~src ~dst | None -> ());
+  Obs.event t.obs ~actor:(Printf.sprintf "p%d" src) (Event.Net_send { src; dst });
   let env = { from = src; payload } in
   if List.mem (src, dst) t.partitioned then t.buffered <- (src, dst, env) :: t.buffered
   else begin
     let now = Engine.now t.engine in
     let extra = if now < t.gst then t.pre_gst_extra ~src ~dst ~now else 0. in
     let d = t.base_latency ~src ~dst +. extra in
-    Engine.schedule t.engine d (fun () -> Mailbox.send t.boxes.(dst) env)
+    schedule_delivery t ~src ~dst ~delay:d env
   end
 
 type 'm endpoint = { pid : int; net : 'm t }

@@ -23,9 +23,6 @@ val randomize_latency :
     asynchronous prefix of a partially synchronous execution. *)
 val set_gst : 'm t -> at:float -> extra:(src:int -> dst:int -> now:float -> float) -> unit
 
-(** Install a trace sink called at every send. *)
-val set_tracer : 'm t -> (src:int -> dst:int -> unit) -> unit
-
 (** Sever the given ordered pairs.  Messages are buffered, not dropped
     (links are no-loss), and flushed by {!heal}. *)
 val partition : 'm t -> (int * int) list -> unit

@@ -1,0 +1,27 @@
+(** Deterministic exporters over a collector's retained stream and
+    metrics: Chrome [trace_event] JSON (chrome://tracing / Perfetto),
+    line-oriented JSONL, and a metrics summary document. *)
+
+(** Chrome trace_event document: actors as tracks, spans as "X" duration
+    events, instant events as "i".  One virtual delay = 1000 trace µs. *)
+val chrome_json : Obs.t -> Json.t
+
+val chrome : Obs.t -> string
+
+(** One JSON object per line per entry. *)
+val jsonl : Obs.t -> string
+
+(** Histogram summaries (count/sum/min/max/p50/p90/p99) and counters. *)
+val metrics_json : Obs.t -> Json.t
+
+val metrics : Obs.t -> string
+
+(** Write the trace to [file]; a [.jsonl] suffix selects the JSONL
+    exporter, anything else the Chrome format. *)
+val write_trace : Obs.t -> file:string -> unit
+
+val write_metrics : Obs.t -> file:string -> unit
+
+(** Structurally validate an exported Chrome trace; [Ok (events, tracks)]
+    on success. *)
+val validate_chrome : string -> (int * int, string) result

@@ -1,0 +1,26 @@
+(** A minimal JSON value type with a deterministic printer and a strict
+    parser — the serialization substrate of the telemetry exporters.
+    Deterministic output (no hashtable order, fixed float images) is what
+    makes identical seeded runs produce byte-identical trace files. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+(** Strict parse of a complete JSON document. *)
+val parse : string -> (t, string) result
+
+(** [member key json] is the value of field [key] if [json] is an object
+    containing it. *)
+val member : string -> t -> t option
+
+val to_list : t -> t list option
+
+val to_string_opt : t -> string option

@@ -9,10 +9,26 @@
    paper's algorithms use (issue to all memories, wait for a quorum). *)
 
 open Rdma_sim
+open Rdma_obs
 
-type t = { pid : int; memories : Memory.t array }
+type t = { pid : int; actor : string; obs : Obs.t option; memories : Memory.t array }
 
-let create ~pid ~memories = { pid; memories }
+let create ~pid ~memories =
+  {
+    pid;
+    actor = Printf.sprintf "p%d" pid;
+    (* All memories share one engine, hence one collector. *)
+    obs = (if Array.length memories = 0 then None else Some (Memory.obs memories.(0)));
+    memories;
+  }
+
+(* Client-side span around a blocking operation: the caller's view of the
+   round trip, on the process track (the memory-side [mem.*] span sits on
+   the memory track). *)
+let client_span t name f =
+  match t.obs with
+  | None -> f ()
+  | Some obs -> Obs.with_span obs ~actor:t.actor ~cat:"rdma" name f
 
 let pid t = t.pid
 
@@ -26,13 +42,18 @@ let majority t = (Array.length t.memories / 2) + 1
 (* {2 Single-memory blocking operations} *)
 
 let write t ~mem ~region ~reg value =
-  Ivar.await (Memory.write_async t.memories.(mem) ~from:t.pid ~region ~reg value)
+  client_span t "rdma.write" (fun () ->
+      Ivar.await
+        (Memory.write_async t.memories.(mem) ~from:t.pid ~region ~reg value))
 
 let read t ~mem ~region ~reg =
-  Ivar.await (Memory.read_async t.memories.(mem) ~from:t.pid ~region ~reg)
+  client_span t "rdma.read" (fun () ->
+      Ivar.await (Memory.read_async t.memories.(mem) ~from:t.pid ~region ~reg))
 
 let change_permission t ~mem ~region ~perm =
-  Ivar.await (Memory.change_permission_async t.memories.(mem) ~from:t.pid ~region ~perm)
+  client_span t "rdma.perm" (fun () ->
+      Ivar.await
+        (Memory.change_permission_async t.memories.(mem) ~from:t.pid ~region ~perm))
 
 (* {2 Parallel all-memories operations} *)
 
@@ -51,15 +72,19 @@ let change_permission_all_async t ~region ~perm =
    which the paper's algorithms treat as "give up". *)
 let write_quorum ?k t ~region ~reg value =
   let k = Option.value k ~default:(majority t) in
-  let responses = Par.await_k (write_all_async t ~region ~reg value) k in
-  if List.for_all (fun (_, r) -> r = Memory.Ack) responses then Memory.Ack else Memory.Nak
+  client_span t "rdma.write_quorum" (fun () ->
+      let responses = Par.await_k (write_all_async t ~region ~reg value) k in
+      if List.for_all (fun (_, r) -> r = Memory.Ack) responses then Memory.Ack
+      else Memory.Nak)
 
 (* [read_quorum t ~region ~reg] reads from every memory, waits for [k]
    responses, and returns them as [(memory index, result)] pairs. *)
 let read_quorum ?k t ~region ~reg =
   let k = Option.value k ~default:(majority t) in
-  Par.await_k (read_all_async t ~region ~reg) k
+  client_span t "rdma.read_quorum" (fun () ->
+      Par.await_k (read_all_async t ~region ~reg) k)
 
 let change_permission_quorum ?k t ~region ~perm =
   let k = Option.value k ~default:(majority t) in
-  Par.await_k (change_permission_all_async t ~region ~perm) k
+  client_span t "rdma.perm_quorum" (fun () ->
+      Par.await_k (change_permission_all_async t ~region ~perm) k)

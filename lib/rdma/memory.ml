@@ -11,6 +11,7 @@
    simply never filled. *)
 
 open Rdma_sim
+open Rdma_obs
 
 type op_result = Ack | Nak
 
@@ -26,6 +27,8 @@ type t = {
   mid : int;
   engine : Engine.t;
   stats : Stats.t;
+  obs : Obs.t;
+  actor : string; (* "mu<mid>": this memory's telemetry track *)
   legal_change : Permission.legal_change;
   one_way : float;
   mutable crashed : bool;
@@ -34,7 +37,6 @@ type t = {
   (* register -> owning region; enforces "a register belongs to exactly
      one region" (our algorithms' convention, Section 3) *)
   owner : (string, string) Hashtbl.t;
-  mutable tracer : (string -> unit) option; (* optional I/O trace sink *)
 }
 
 let create ?(one_way = 1.0) ?(legal_change = Permission.static_permissions)
@@ -43,22 +45,24 @@ let create ?(one_way = 1.0) ?(legal_change = Permission.static_permissions)
     mid;
     engine;
     stats;
+    obs = Engine.obs engine;
+    actor = Printf.sprintf "mu%d" mid;
     legal_change;
     one_way;
     crashed = false;
     regions = Hashtbl.create 64;
     store = Hashtbl.create 256;
     owner = Hashtbl.create 256;
-    tracer = None;
   }
 
 let id t = t.mid
 
-(* Install an I/O trace sink: called with a one-line description of every
-   operation as it *arrives* at the memory. *)
-let set_tracer t f = t.tracer <- Some f
+let obs t = t.obs
 
-let trace t fmt = Printf.ksprintf (fun s -> match t.tracer with Some f -> f s | None -> ()) fmt
+(* Typed telemetry event on this memory's track, recorded as the
+   operation *arrives* at the memory (one one-way delay after issue) —
+   the moment the permission check happens. *)
+let emit t ev = Obs.event t.obs ~actor:t.actor ev
 
 let crash t = t.crashed <- true
 
@@ -105,14 +109,20 @@ let force_permission t ~region ~perm =
 
 (* Issue [apply] as a timed memory operation.  [apply] runs at the memory
    (one-way later); its result is delivered another one-way later.  Either
-   leg is dropped if the memory is crashed at that moment. *)
-let operation t apply =
+   leg is dropped if the memory is crashed at that moment.  The whole
+   round trip is one span on the memory's track; an operation swallowed
+   by a crash leaves its span unfinished, which the exporters flag. *)
+let operation t ~span_name apply =
   let result = Ivar.create () in
+  let sp = Obs.span t.obs ~actor:t.actor ~cat:"mem" span_name in
   Engine.schedule t.engine t.one_way (fun () ->
       if not t.crashed then begin
         let r = apply () in
         Engine.schedule t.engine t.one_way (fun () ->
-            if not t.crashed then Ivar.fill result r)
+            if not t.crashed then begin
+              Obs.finish t.obs sp;
+              Ivar.fill result r
+            end)
       end);
   result
 
@@ -123,31 +133,27 @@ let lookup_region t name =
 
 let write_async t ~from ~region ~reg value =
   Stats.incr_writes t.stats;
-  operation t (fun () ->
-      match lookup_region t region with
-      | None ->
-          trace t "p%d write %s/%s -> nak (no region)" from region reg;
-          Nak
-      | Some r ->
-          if Hashtbl.mem r.registers reg && Permission.can_write r.perm from then begin
-            Hashtbl.replace t.store reg (Some value);
-            trace t "p%d write %s/%s := %s -> ack" from region reg value;
-            Ack
-          end
-          else begin
-            trace t "p%d write %s/%s -> nak" from region reg;
-            Nak
-          end)
+  operation t ~span_name:"mem.write" (fun () ->
+      let ok =
+        match lookup_region t region with
+        | None -> false
+        | Some r ->
+            Hashtbl.mem r.registers reg && Permission.can_write r.perm from
+      in
+      if ok then Hashtbl.replace t.store reg (Some value);
+      emit t (Event.Mem_write { pid = from; mid = t.mid; region; reg; value; ok });
+      if ok then Ack else Nak)
 
 let read_async t ~from ~region ~reg =
   Stats.incr_reads t.stats;
-  operation t (fun () ->
-      match lookup_region t region with
-      | None -> Read_nak
-      | Some r ->
-          if Hashtbl.mem r.registers reg && Permission.can_read r.perm from then
-            Read (Option.join (Hashtbl.find_opt t.store reg))
-          else Read_nak)
+  operation t ~span_name:"mem.read" (fun () ->
+      let ok =
+        match lookup_region t region with
+        | None -> false
+        | Some r -> Hashtbl.mem r.registers reg && Permission.can_read r.perm from
+      in
+      emit t (Event.Mem_read { pid = from; mid = t.mid; region; reg; ok });
+      if ok then Read (Option.join (Hashtbl.find_opt t.store reg)) else Read_nak)
 
 (* Batched read of several registers of one region in a single operation —
    an RDMA read of a contiguous slot array (Section 7).  Results are in
@@ -157,35 +163,39 @@ type read_many_result = Read_many of string option array | Read_many_nak
 
 let read_many_async t ~from ~region ~regs =
   Stats.incr_reads t.stats;
-  operation t (fun () ->
-      match lookup_region t region with
-      | None -> Read_many_nak
-      | Some r ->
-          if
+  operation t ~span_name:"mem.read_many" (fun () ->
+      let ok =
+        match lookup_region t region with
+        | None -> false
+        | Some r ->
             Permission.can_read r.perm from
             && List.for_all (fun reg -> Hashtbl.mem r.registers reg) regs
-          then
-            Read_many
-              (Array.of_list
-                 (List.map (fun reg -> Option.join (Hashtbl.find_opt t.store reg)) regs))
-          else Read_many_nak)
+      in
+      emit t
+        (Event.Mem_read_many
+           { pid = from; mid = t.mid; region; count = List.length regs; ok });
+      if ok then
+        Read_many
+          (Array.of_list
+             (List.map (fun reg -> Option.join (Hashtbl.find_opt t.store reg)) regs))
+      else Read_many_nak)
 
 (* changePermission (Section 3): the memory evaluates legalChange on
    arrival; an illegal request silently becomes a no-op (the paper's
    semantics), but we report whether it was applied for observability. *)
 let change_permission_async t ~from ~region ~perm =
   Stats.incr_perm_changes t.stats;
-  operation t (fun () ->
-      match lookup_region t region with
-      | None -> Nak
-      | Some r ->
-          if t.legal_change ~pid:from ~region ~current:r.perm ~requested:perm
-          then begin
-            r.perm <- perm;
-            trace t "p%d changePermission %s -> applied" from region;
-            Ack
-          end
-          else begin
-            trace t "p%d changePermission %s -> refused" from region;
-            Nak
-          end)
+  operation t ~span_name:"mem.perm" (fun () ->
+      let applied =
+        match lookup_region t region with
+        | None -> false
+        | Some r ->
+            if t.legal_change ~pid:from ~region ~current:r.perm ~requested:perm
+            then begin
+              r.perm <- perm;
+              true
+            end
+            else false
+      in
+      emit t (Event.Mem_perm { pid = from; mid = t.mid; region; applied });
+      if applied then Ack else Nak)

@@ -25,9 +25,9 @@ val create :
 
 val id : t -> int
 
-(** Install an I/O trace sink: called with a one-line description of
-    every write/permission operation as it arrives at the memory. *)
-val set_tracer : t -> (string -> unit) -> unit
+(** The engine's telemetry collector (every operation records a typed
+    event on this memory's [mu<mid>] track and a [mem.*] span). *)
+val obs : t -> Rdma_obs.Obs.t
 
 (** Crash the memory: every outstanding and future operation hangs. *)
 val crash : t -> unit

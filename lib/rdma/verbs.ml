@@ -17,6 +17,7 @@
    queue pair, because a queue pair capability carries its owner). *)
 
 open Rdma_sim
+open Rdma_obs
 
 type access = Remote_read | Remote_write | Remote_read_write
 
@@ -36,6 +37,14 @@ type mr = {
 type qp = { qp_pd : pd; remote : int }
 
 let nic memory = { memory; next_key = 0 }
+
+(* Registration-table changes are control-plane events on the memory's
+   track: chrome traces show revocations lining up with the naks they
+   cause. *)
+let emit_mr memory ~region op =
+  Obs.event (Memory.obs memory)
+    ~actor:(Printf.sprintf "mu%d" (Memory.id memory))
+    (Event.Verbs_mr { mid = Memory.id memory; region; op })
 
 let nic_memory t = t.memory
 
@@ -59,6 +68,7 @@ let reg_mr pd ~name ~registers ~access ~grantees =
   Memory.add_region pd.nic.memory ~name
     ~perm:(perm_of_access ~access ~grantees)
     ~registers;
+  emit_mr pd.nic.memory ~region:name "reg";
   { pd; mr_name = name; rkey; access; grantees; registered = true }
 
 let rkey mr = mr.rkey
@@ -70,7 +80,8 @@ let mr_region mr = mr.mr_name
 let dereg_mr mr =
   if mr.registered then begin
     mr.registered <- false;
-    Memory.force_permission mr.pd.nic.memory ~region:mr.mr_name ~perm:Permission.none
+    Memory.force_permission mr.pd.nic.memory ~region:mr.mr_name ~perm:Permission.none;
+    emit_mr mr.pd.nic.memory ~region:mr.mr_name "dereg"
   end
 
 (* Re-register an existing region (e.g. to hand exclusive write access to
@@ -83,6 +94,7 @@ let rereg_mr mr ~access ~grantees =
   in
   Memory.force_permission mr.pd.nic.memory ~region:mr.mr_name
     ~perm:(perm_of_access ~access ~grantees);
+  emit_mr mr.pd.nic.memory ~region:mr.mr_name "rereg";
   let mr' = { mr with rkey; access; grantees; registered = true } in
   mr.registered <- false;
   mr'

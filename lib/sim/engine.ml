@@ -14,12 +14,6 @@ exception Cancelled
 
 exception Deadlock of string
 
-type fiber = {
-  fid : int;
-  name : string;
-  mutable cancelled : bool;
-}
-
 type t = {
   mutable now : float;
   mutable seq : int;
@@ -30,25 +24,42 @@ type t = {
   mutable next_fid : int;
   mutable errors : (string * exn) list;
   mutable fiber_count : int;
+  obs : Rdma_obs.Obs.t;
+}
+
+and fiber = {
+  fid : int;
+  name : string;
+  mutable cancelled : bool;
+  owner : t;
 }
 
 type _ Effect.t +=
   | Suspend : (t -> fiber -> ('a -> unit) -> unit) -> 'a Effect.t
 
 let create ?(max_steps = 20_000_000) ?(seed = 1) () =
-  {
-    now = 0.;
-    seq = 0;
-    heap = Heap.create ();
-    steps = 0;
-    max_steps;
-    rng = Random.State.make [| seed |];
-    next_fid = 0;
-    errors = [];
-    fiber_count = 0;
-  }
+  let t =
+    {
+      now = 0.;
+      seq = 0;
+      heap = Heap.create ();
+      steps = 0;
+      max_steps;
+      rng = Random.State.make [| seed |];
+      next_fid = 0;
+      errors = [];
+      fiber_count = 0;
+      obs = Rdma_obs.Obs.create ();
+    }
+  in
+  (* The telemetry clock is virtual time: every span and event recorded
+     anywhere in the stack is keyed to the paper's delay metric. *)
+  Rdma_obs.Obs.set_clock t.obs (fun () -> t.now);
+  t
 
 let now t = t.now
+
+let obs t = t.obs
 
 let rng t = t.rng
 
@@ -60,7 +71,12 @@ let fiber_name f = f.name
 
 let cancelled f = f.cancelled
 
-let cancel f = f.cancelled <- true
+let cancel f =
+  if not f.cancelled then begin
+    f.cancelled <- true;
+    Rdma_obs.Obs.event f.owner.obs ~actor:f.name
+      (Rdma_obs.Event.Fiber_cancel { fid = f.fid; name = f.name })
+  end
 
 let schedule t delay callback =
   if delay < 0. then invalid_arg "Engine.schedule: negative delay";
@@ -96,15 +112,20 @@ let handler t fiber =
 let spawn t name f =
   t.next_fid <- t.next_fid + 1;
   t.fiber_count <- t.fiber_count + 1;
-  let fiber = { fid = t.next_fid; name; cancelled = false } in
+  let fiber = { fid = t.next_fid; name; cancelled = false; owner = t } in
   schedule t 0. (fun () ->
-      if not fiber.cancelled then
+      if not fiber.cancelled then begin
+        (* Recorded at first step, not at [spawn], so traces enabled
+           between cluster construction and [run] still see it. *)
+        Rdma_obs.Obs.event t.obs ~actor:name
+          (Rdma_obs.Event.Fiber_spawn { fid = fiber.fid; name });
         Effect.Deep.match_with
           (fun () ->
             Fun.protect
               ~finally:(fun () -> t.fiber_count <- t.fiber_count - 1)
               f)
-          () (handler t fiber));
+          () (handler t fiber)
+      end);
   fiber
 
 let run t =
@@ -114,11 +135,14 @@ let run t =
     | None -> continue := false
     | Some { Heap.time; payload; _ } ->
         t.steps <- t.steps + 1;
-        if t.steps > t.max_steps then
+        if t.steps > t.max_steps then begin
+          Rdma_obs.Obs.event t.obs ~actor:"engine"
+            (Rdma_obs.Event.Deadlock { steps = t.steps });
           raise
             (Deadlock
                (Printf.sprintf "Engine: exceeded %d steps at time %.2f"
-                  t.max_steps t.now));
+                  t.max_steps t.now))
+        end;
         t.now <- time;
         payload ()
   done

@@ -25,6 +25,11 @@ val create : ?max_steps:int -> ?seed:int -> unit -> t
 (** Current virtual time. *)
 val now : t -> float
 
+(** The engine's telemetry collector; its clock is virtual time.  All
+    substrate layers built over this engine record their typed events,
+    spans and metrics here. *)
+val obs : t -> Rdma_obs.Obs.t
+
 (** Seeded PRNG for simulated randomness; all determinism flows from the
     [seed] given to {!create}. *)
 val rng : t -> Random.State.t

@@ -53,7 +53,13 @@ let set t name v =
 
 let mem_ops t = t.mem_reads + t.mem_writes + t.perm_changes
 
+(* Named counters sorted by key — [Hashtbl.fold] order depends on the
+   hash seed, and reports must be stable for expect-style comparison. *)
+let named_sorted t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.named [] |> List.sort compare
+
 let pp ppf t =
   Fmt.pf ppf "msgs=%d reads=%d writes=%d perms=%d signs=%d verifies=%d"
     t.messages_sent t.mem_reads t.mem_writes t.perm_changes t.signatures
-    t.verifications
+    t.verifications;
+  List.iter (fun (k, v) -> Fmt.pf ppf " %s=%d" k v) (named_sorted t)

@@ -35,4 +35,10 @@ val set : t -> string -> int -> unit
 (** Total memory operations (reads + writes + permission changes). *)
 val mem_ops : t -> int
 
+(** Snapshot of the named counters, sorted by key (stable across runs,
+    unlike raw [Hashtbl] iteration order). *)
+val named_sorted : t -> (string * int) list
+
+(** Prints the fixed counters followed by the named counters in sorted
+    key order, so output is deterministic. *)
 val pp : Format.formatter -> t -> unit

@@ -102,7 +102,8 @@ let run ?(cfg = default_config) ?(seed = 1) ?(faults = [])
         Report.of_stats
           ~algorithm:(Printf.sprintf "bft-log[%d]" slot)
           ~n ~m ~decisions
-          ~stats:(Cluster.stats cluster)
-          ~steps:(Engine.steps (Cluster.engine cluster)))
+          ~obs:(Cluster.obs cluster)
+    ~stats:(Cluster.stats cluster)
+          ~steps:(Engine.steps (Cluster.engine cluster)) ())
   in
   (reports, List.map fst byzantine)

@@ -119,7 +119,7 @@ let test_hooks_count () =
   let signs = ref 0 and verifies = ref 0 in
   Keychain.set_hooks chain
     ~on_sign:(fun pid -> if pid = 0 then incr signs)
-    ~on_verify:(fun () -> incr verifies);
+    ~on_verify:(fun ~ok:_ -> incr verifies);
   let s = Keychain.signer chain 0 in
   let g = Keychain.sign s "x" in
   ignore (Keychain.valid chain ~author:0 "x" g);

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "rdma-agreement"
     [
       ("heap", Test_heap.suite);
+      ("obs", Test_obs.suite);
       ("engine", Test_engine.suite);
       ("crypto", Test_crypto.suite);
       ("memory", Test_memory.suite);

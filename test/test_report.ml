@@ -8,7 +8,7 @@ open Rdma_consensus
 
 let mk_report decisions =
   Report.of_stats ~algorithm:"test" ~n:(Array.length decisions) ~m:0 ~decisions
-    ~stats:(Stats.create ()) ~steps:0
+    ~stats:(Stats.create ()) ~steps:0 ()
 
 let d v at = Some { Report.value = v; at }
 
