@@ -620,6 +620,56 @@ let exp_o1 () =
         !metrics_out
 
 (* ------------------------------------------------------------------ *)
+(* C1: chaos exploration — violation rates across the registry          *)
+(* ------------------------------------------------------------------ *)
+
+let exp_c1 () =
+  section "c1"
+    "Chaos: seeded nemesis schedules vs the invariant oracle, all scenarios";
+  let open Rdma_chaos in
+  Fmt.pr
+    "@.%d schedules per scenario (seed base 1), nemesis within each fault \
+     model; Byzantine scenarios also draw attacks and arm phase-boundary \
+     triggers:@.@."
+    100;
+  Fmt.pr "%-18s %-10s %-6s %-10s %-12s@." "scenario" "schedules" "ok"
+    "violations" "mode";
+  List.iter
+    (fun scenario ->
+      let byz = scenario.Scenario.attack_pool <> [] in
+      let options =
+        { Explore.default_options with runs = 100; seed = 1; adversary = true; byz }
+      in
+      let batch = Explore.explore ~options scenario in
+      Fmt.pr "%-18s %-10d %-6d %-10d %-12s@." scenario.Scenario.name
+        (Explore.total batch) batch.Explore.passed
+        (List.length batch.Explore.failures)
+        (if byz then "byz+trigger" else "trigger"))
+    Scenario.all;
+  (* The shrinker, demonstrated: unleash the budget past Paxos's fault
+     model (majority crashes become possible) and minimize the first
+     violating schedule. *)
+  let paxos = Option.get (Scenario.find "paxos") in
+  let options =
+    { Explore.default_options with runs = 10; seed = 1; over_budget = true }
+  in
+  let batch = Explore.explore ~options paxos in
+  match batch.Explore.failures with
+  | [] -> Fmt.pr "@.over-budget paxos: no violation in 10 schedules (unexpected)@."
+  | f :: _ ->
+      Fmt.pr
+        "@.over-budget paxos seed %d: %d-fault schedule shrunk to %d faults (%d \
+         probe runs):@."
+        f.Explore.outcome.Scenario.case.Nemesis.case_seed
+        (List.length f.Explore.outcome.Scenario.case.Nemesis.faults)
+        (List.length f.Explore.repro.Repro.faults)
+        f.Explore.shrink_probes;
+      Fmt.pr "  %a@." Fmt.(list ~sep:(any ", ") Fault.pp) f.Explore.repro.Repro.faults;
+      List.iter
+        (fun v -> Fmt.pr "  violation: %s@." v)
+        f.Explore.repro.Repro.violations
+
+(* ------------------------------------------------------------------ *)
 (* B1: wall-clock microbenches (Bechamel)                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -714,6 +764,7 @@ let experiments =
     ("f6", exp_f6);
     ("m1", exp_m1);
     ("o1", exp_o1);
+    ("c1", exp_c1);
     ("bechamel", bechamel_benches);
   ]
 

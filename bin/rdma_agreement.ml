@@ -388,7 +388,146 @@ let list_cmd =
   let doc = "List the available algorithms." in
   Cmd.v (Cmd.info "list" ~doc) Term.(const action $ const ())
 
+(* --- chaos: deterministic fault exploration ------------------------- *)
+
+let chaos_scenario_pos =
+  let doc =
+    "Chaos scenario (one of "
+    ^ String.concat ", " (Rdma_chaos.Scenario.names ())
+    ^ ")."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc)
+
+let find_scenario name =
+  match Rdma_chaos.Scenario.find name with
+  | Some s -> s
+  | None ->
+      Fmt.epr "unknown chaos scenario %s; known: %s@." name
+        (String.concat ", " (Rdma_chaos.Scenario.names ()));
+      exit 2
+
+let pp_outcome ppf (outcome : Rdma_chaos.Scenario.outcome) =
+  let open Rdma_chaos in
+  (match outcome.fired with
+  | [] -> ()
+  | fired ->
+      List.iter (fun (at, msg) -> Fmt.pf ppf "  adversary @%.1f: %s@." at msg) fired);
+  match outcome.violations with
+  | [] -> Fmt.pf ppf "  verdict: ok@."
+  | vs ->
+      List.iter (fun v -> Fmt.pf ppf "  verdict: %a@." Oracle.pp_violation v) vs
+
+let chaos_explore_cmd =
+  let open Rdma_chaos in
+  let runs =
+    Arg.(value & opt int 50 & info [ "runs" ] ~doc:"Number of generated schedules.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed (case i uses seed+i).")
+  in
+  let adversary =
+    Arg.(value & flag
+        & info [ "adversary" ]
+            ~doc:"Arm telemetry-driven triggers at protocol phase boundaries.")
+  in
+  let byzantine =
+    Arg.(value & flag
+        & info [ "byzantine" ]
+            ~doc:"Draw Byzantine processes from the scenario's attack pool.")
+  in
+  let over_budget =
+    Arg.(value & flag
+        & info [ "over-budget" ]
+            ~doc:
+              "Lift the crash budget past the algorithm's fault model \
+               (violations expected; exercises the shrinker).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+        & info [ "out" ] ~docv:"FILE"
+            ~doc:"Write the first minimized repro artifact to $(docv).")
+  in
+  let expect_violations =
+    Arg.(value & flag
+        & info [ "expect-violations" ]
+            ~doc:"Invert the exit status: fail when NO violation is found.")
+  in
+  let action name runs seed adversary byzantine over_budget out expect_violations =
+    let scenario = find_scenario name in
+    let options =
+      {
+        Explore.default_options with
+        runs;
+        seed;
+        adversary;
+        byz = byzantine;
+        over_budget;
+      }
+    in
+    let batch = Explore.explore ~options scenario in
+    List.iter
+      (fun (f : Explore.failure) ->
+        Fmt.pr "violation: %s seed=%d@." name f.outcome.case.Nemesis.case_seed;
+        Fmt.pr "%a" pp_outcome f.outcome;
+        Fmt.pr "  schedule: %a@."
+          Fmt.(list ~sep:(any ", ") Fault.pp)
+          f.outcome.case.Nemesis.faults;
+        Fmt.pr "  minimized (%d probes): %a@." f.shrink_probes
+          Fmt.(list ~sep:(any ", ") Fault.pp)
+          f.repro.Repro.faults)
+      batch.failures;
+    (match (out, batch.failures) with
+    | Some path, f :: _ ->
+        Repro.save f.repro path;
+        Fmt.pr "repro written to %s@." path
+    | Some _, [] -> Fmt.pr "no violation to write@."
+    | None, _ -> ());
+    let failed = List.length batch.failures in
+    Fmt.pr "%s: %d schedules, %d ok, %d violations@." name (Explore.total batch)
+      batch.passed failed;
+    if expect_violations then begin
+      if failed = 0 then exit 1
+    end
+    else if failed > 0 then exit 1
+  in
+  let doc = "Explore seeded random fault schedules against an algorithm." in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(
+      const action $ chaos_scenario_pos $ runs $ seed $ adversary $ byzantine
+      $ over_budget $ out $ expect_violations)
+
+let chaos_replay_cmd =
+  let open Rdma_chaos in
+  let file =
+    Arg.(required & pos 0 (some file) None
+        & info [] ~docv:"FILE" ~doc:"Repro artifact written by explore --out.")
+  in
+  let action file =
+    match Repro.load file with
+    | Error e ->
+        Fmt.epr "%s: %s@." file e;
+        exit 2
+    | Ok repro ->
+        let scenario = find_scenario repro.Repro.scenario in
+        let outcome = Explore.replay scenario repro in
+        Fmt.pr "replay %s seed=%d@." repro.Repro.scenario repro.Repro.seed;
+        Fmt.pr "  schedule: %a@."
+          Fmt.(list ~sep:(any ", ") Fault.pp)
+          repro.Repro.faults;
+        Fmt.pr "%a" pp_outcome outcome;
+        if outcome.violations <> [] then exit 1
+  in
+  let doc = "Replay a minimized repro artifact bit-for-bit." in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const action $ file)
+
+let chaos_cmd =
+  let doc = "Deterministic chaos testing: nemesis schedules, oracle, shrinker." in
+  Cmd.group (Cmd.info "chaos" ~doc) [ chaos_explore_cmd; chaos_replay_cmd ]
+
 let () =
   let doc = "Consensus on simulated RDMA (The Impact of RDMA on Agreement, PODC'19)" in
   let info = Cmd.info "rdma_agreement" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; fuzz_cmd; log_cmd; validate_trace_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; fuzz_cmd; chaos_cmd; log_cmd; validate_trace_cmd; list_cmd ]))

@@ -1,0 +1,95 @@
+(* The exploration driver: generate a batch of cases from consecutive
+   seeds, run each against the scenario, and on any violation shrink the
+   schedule to a minimal counterexample and package it as a repro
+   artifact.  The whole batch is a pure function of (scenario, options,
+   base seed), so two invocations with the same arguments produce the
+   same verdicts, the same artifacts, byte for byte. *)
+
+type options = {
+  runs : int;
+  seed : int;  (* base seed; case i uses seed + i *)
+  adversary : bool;  (* arm telemetry-driven triggers *)
+  byz : bool;  (* draw Byzantine processes from the scenario pool *)
+  over_budget : bool;  (* lift the crash budget past the fault model *)
+  shrink_runs : int;  (* probe cap for the shrinker *)
+}
+
+let default_options =
+  {
+    runs = 50;
+    seed = 1;
+    adversary = false;
+    byz = false;
+    over_budget = false;
+    shrink_runs = 200;
+  }
+
+type failure = {
+  outcome : Scenario.outcome;
+  repro : Repro.t;
+  shrink_probes : int;
+}
+
+type batch = {
+  scenario : string;
+  options : options;
+  passed : int;
+  failures : failure list;  (* in seed order *)
+}
+
+let total batch = batch.passed + List.length batch.failures
+
+(* Re-run [case] with a substitute fault schedule; used by the shrinker
+   as its (deterministic) failure probe and by [replay]. *)
+let run_with_faults scenario (case : Nemesis.case) faults =
+  Scenario.run scenario { case with Nemesis.faults }
+
+(* A schedule "still fails" if the re-run yields any violation at all —
+   not necessarily the same one: for a minimal counterexample any
+   invariant breakage keeps the schedule interesting. *)
+let still_fails scenario case faults =
+  (run_with_faults scenario case faults).violations <> []
+
+let shrink ?(max_runs = 200) scenario (outcome : Scenario.outcome) =
+  let case = outcome.Scenario.case in
+  let minimized, probes =
+    Shrink.minimize ~max_runs
+      ~still_fails:(still_fails scenario case)
+      case.Nemesis.faults
+  in
+  (* The minimized schedule's outcome (re-run once more so the artifact
+     records the violations of what it actually ships). *)
+  let final = run_with_faults scenario case minimized in
+  let repro =
+    Repro.of_outcome ~scenario:scenario.Scenario.name ~minimized
+      { final with Scenario.case = outcome.Scenario.case }
+  in
+  (repro, probes)
+
+let explore ?(options = default_options) scenario =
+  let passed = ref 0 in
+  let failures = ref [] in
+  for i = 0 to options.runs - 1 do
+    let case =
+      Scenario.generate scenario ~adversary:options.adversary ~byz:options.byz
+        ~over_budget:options.over_budget ~seed:(options.seed + i) ()
+    in
+    let outcome = Scenario.run scenario case in
+    if Scenario.passed outcome then incr passed
+    else begin
+      let repro, shrink_probes =
+        shrink ~max_runs:options.shrink_runs scenario outcome
+      in
+      failures := { outcome; repro; shrink_probes } :: !failures
+    end
+  done;
+  {
+    scenario = scenario.Scenario.name;
+    options;
+    passed = !passed;
+    failures = List.rev !failures;
+  }
+
+(* Replay a repro artifact: rebuild the exact case and run it.  Returns
+   the outcome; the caller renders the (deterministic) verdict. *)
+let replay scenario (repro : Repro.t) = Scenario.run scenario (Repro.case repro)

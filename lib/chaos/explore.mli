@@ -1,0 +1,39 @@
+(** The exploration driver: seeded batches of chaos cases, shrinking
+    every violation to a minimal repro artifact.  Deterministic: the
+    batch verdict is a pure function of (scenario, options). *)
+
+type options = {
+  runs : int;
+  seed : int;  (** base seed; case [i] uses [seed + i] *)
+  adversary : bool;  (** arm telemetry-driven triggers *)
+  byz : bool;  (** draw Byzantine processes from the scenario pool *)
+  over_budget : bool;  (** lift the crash budget past the fault model *)
+  shrink_runs : int;  (** probe cap for the shrinker *)
+}
+
+val default_options : options
+
+type failure = {
+  outcome : Scenario.outcome;
+  repro : Repro.t;
+  shrink_probes : int;
+}
+
+type batch = {
+  scenario : string;
+  options : options;
+  passed : int;
+  failures : failure list;  (** in seed order *)
+}
+
+val total : batch -> int
+
+(** Shrink one violating outcome to a repro artifact; returns the probe
+    count too. *)
+val shrink :
+  ?max_runs:int -> Scenario.t -> Scenario.outcome -> Repro.t * int
+
+val explore : ?options:options -> Scenario.t -> batch
+
+(** Rebuild the artifact's exact case and run it. *)
+val replay : Scenario.t -> Repro.t -> Scenario.outcome

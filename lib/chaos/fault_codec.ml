@@ -1,0 +1,121 @@
+(* JSON codec for declarative fault schedules — the repro-artifact
+   format.  Encoding is deterministic (fixed field order, the Json
+   printer's fixed float images), so a saved schedule replays and
+   re-serializes bit-for-bit. *)
+
+open Rdma_consensus
+open Rdma_obs
+
+let f x = Json.Float x
+
+let i x = Json.Int x
+
+let to_json = function
+  | Fault.Crash_process { pid; at } ->
+      Json.Obj [ ("kind", Json.String "crash-process"); ("pid", i pid); ("at", f at) ]
+  | Fault.Crash_memory { mid; at } ->
+      Json.Obj [ ("kind", Json.String "crash-memory"); ("mid", i mid); ("at", f at) ]
+  | Fault.Set_leader { pid; at } ->
+      Json.Obj [ ("kind", Json.String "set-leader"); ("pid", i pid); ("at", f at) ]
+  | Fault.Async_until { gst; extra } ->
+      Json.Obj
+        [ ("kind", Json.String "async-until"); ("gst", f gst); ("extra", f extra) ]
+  | Fault.Random_latency { min; max } ->
+      Json.Obj
+        [ ("kind", Json.String "random-latency"); ("min", f min); ("max", f max) ]
+  | Fault.Crash_machine { pid; mid; at } ->
+      Json.Obj
+        [
+          ("kind", Json.String "crash-machine");
+          ("pid", i pid);
+          ("mid", i mid);
+          ("at", f at);
+        ]
+  | Fault.Partition { pairs; at } ->
+      Json.Obj
+        [
+          ("kind", Json.String "partition");
+          ( "pairs",
+            Json.List (List.map (fun (s, d) -> Json.List [ i s; i d ]) pairs) );
+          ("at", f at);
+        ]
+  | Fault.Heal { at } -> Json.Obj [ ("kind", Json.String "heal"); ("at", f at) ]
+
+let num_field name json =
+  match Json.member name json with
+  | Some (Json.Float x) -> Ok x
+  | Some (Json.Int x) -> Ok (float_of_int x)
+  | _ -> Error (Printf.sprintf "fault: missing numeric field %S" name)
+
+let int_field name json =
+  match Json.member name json with
+  | Some (Json.Int x) -> Ok x
+  | _ -> Error (Printf.sprintf "fault: missing integer field %S" name)
+
+let ( let* ) = Result.bind
+
+let of_json json =
+  match Json.member "kind" json with
+  | Some (Json.String kind) -> (
+      match kind with
+      | "crash-process" ->
+          let* pid = int_field "pid" json in
+          let* at = num_field "at" json in
+          Ok (Fault.Crash_process { pid; at })
+      | "crash-memory" ->
+          let* mid = int_field "mid" json in
+          let* at = num_field "at" json in
+          Ok (Fault.Crash_memory { mid; at })
+      | "set-leader" ->
+          let* pid = int_field "pid" json in
+          let* at = num_field "at" json in
+          Ok (Fault.Set_leader { pid; at })
+      | "async-until" ->
+          let* gst = num_field "gst" json in
+          let* extra = num_field "extra" json in
+          Ok (Fault.Async_until { gst; extra })
+      | "random-latency" ->
+          let* min = num_field "min" json in
+          let* max = num_field "max" json in
+          Ok (Fault.Random_latency { min; max })
+      | "crash-machine" ->
+          let* pid = int_field "pid" json in
+          let* mid = int_field "mid" json in
+          let* at = num_field "at" json in
+          Ok (Fault.Crash_machine { pid; mid; at })
+      | "partition" ->
+          let* at = num_field "at" json in
+          let pairs =
+            match Json.member "pairs" json with
+            | Some (Json.List l) ->
+                List.fold_left
+                  (fun acc p ->
+                    match (acc, p) with
+                    | Ok acc, Json.List [ Json.Int s; Json.Int d ] ->
+                        Ok ((s, d) :: acc)
+                    | Ok _, _ -> Error "fault: malformed partition pair"
+                    | (Error _ as e), _ -> e)
+                  (Ok []) l
+                |> Result.map List.rev
+            | _ -> Error "fault: partition without pairs"
+          in
+          let* pairs = pairs in
+          Ok (Fault.Partition { pairs; at })
+      | "heal" ->
+          let* at = num_field "at" json in
+          Ok (Fault.Heal { at })
+      | other -> Error (Printf.sprintf "fault: unknown kind %S" other))
+  | _ -> Error "fault: missing kind"
+
+let schedule_to_json faults = Json.List (List.map to_json faults)
+
+let schedule_of_json = function
+  | Json.List l ->
+      List.fold_left
+        (fun acc j ->
+          let* acc = acc in
+          let* fault = of_json j in
+          Ok (fault :: acc))
+        (Ok []) l
+      |> Result.map List.rev
+  | _ -> Error "schedule: expected a list"

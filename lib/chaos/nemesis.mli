@@ -1,0 +1,63 @@
+(** The nemesis: seeded generation of adversarial fault schedules over
+    the full fault vocabulary, constrained by a per-algorithm budget so
+    runs stay inside the algorithm's fault model — plus telemetry-driven
+    triggers that fire at observed protocol phase boundaries. *)
+
+open Rdma_consensus
+
+type budget = {
+  horizon : float;  (** faults are injected in [[0, horizon)] *)
+  max_process_crashes : int;
+      (** shared fP pool: scheduled crashes + Byzantine replacements +
+          trigger-fired crashes *)
+  max_memory_crashes : int;  (** fM *)
+  max_machine_crashes : int;  (** full-system crashes (Section 7) *)
+  max_leader_flaps : int;
+  allow_partition : bool;
+  allow_latency : bool;
+  max_gst : float;  (** 0. = no asynchronous prefix *)
+  max_extra : float;
+  max_faults : int;
+}
+
+(** Lift the crash constraints (all processes and memories become
+    crashable): schedules leave the fault model, so violations are
+    expected — this is how the shrinker is exercised. *)
+val unleash : n:int -> m:int -> budget -> budget
+
+type action =
+  | Crash_leader  (** crash whoever Ω trusts the instant the phase opens *)
+  | Crash_opener  (** crash the process that opened the phase span *)
+  | Flip_leader  (** repoint Ω at another live correct process *)
+
+type trigger = { phase : string; occurrence : int; action : action }
+
+type case = {
+  case_seed : int;
+  faults : Fault.t list;
+  byz : (int * string) list;  (** pid -> attack name from the scenario pool *)
+  triggers : trigger list;
+}
+
+val action_name : action -> string
+
+val action_of_name : string -> action option
+
+val pp_trigger : Format.formatter -> trigger -> unit
+
+val pp_case : Format.formatter -> case -> unit
+
+(** Deterministically generate one case from [seed].  [attack_pool]
+    names the Byzantine behaviours the scenario allows; [phases] the
+    span names the telemetry adversary may hook. *)
+val generate :
+  budget:budget ->
+  n:int ->
+  m:int ->
+  ?attack_pool:string list ->
+  ?max_byz:int ->
+  ?phases:string list ->
+  ?adversary:bool ->
+  seed:int ->
+  unit ->
+  case

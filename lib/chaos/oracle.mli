@@ -1,0 +1,40 @@
+(** The invariant oracle: agreement, validity, Byzantine containment and
+    post-GST termination (via a virtual-time watchdog), checked on every
+    chaos run by listening to the telemetry stream. *)
+
+open Rdma_mm
+open Rdma_consensus
+
+type violation =
+  | Agreement of { decisions : (int * string) list }
+      (** conflicting decisions among correct processes *)
+  | Validity of { pid : int; value : string }
+      (** a correct process decided a value nobody proposed *)
+  | Liveness of { undecided : int list; deadline : float }
+      (** correct, uncrashed processes undecided at the watchdog *)
+  | Aborted of { error : string }
+      (** the run itself died: engine deadlock or a fiber exception *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val violation_to_string : violation -> string
+
+type watch
+
+(** Install the decision listener (a tap on the typed [Decide] events)
+    and schedule the termination watchdog at virtual time [deadline].
+    Call from a run's [prepare] hook. *)
+val install : deadline:float -> 'm Cluster.t -> watch
+
+(** Correct, uncrashed pids that had not decided when the watchdog
+    fired. *)
+val missed : watch -> int list
+
+(** Decisions seen on the telemetry stream, as [(pid, value, at)]. *)
+val decided : watch -> (int * string * float) list
+
+(** Verdict over a completed run: agreement over the non-Byzantine
+    decisions, validity (crash-only runs), and the watchdog's liveness
+    result when a [watch] is given. *)
+val check :
+  ?watch:watch -> inputs:string array -> byz:int list -> Report.t -> violation list

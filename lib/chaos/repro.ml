@@ -1,0 +1,161 @@
+(* Repro artifacts: a violating chaos case, minimized, serialized as
+   deterministic JSON so it can be replayed bit-for-bit by
+   [rdma_agreement chaos replay].  The artifact carries everything a
+   replay needs — scenario name, case seed, minimized fault schedule,
+   Byzantine assignment, telemetry triggers — plus, for the human, the
+   violations observed and the original (pre-shrink) schedule. *)
+
+open Rdma_obs
+open Rdma_consensus
+
+type t = {
+  scenario : string;
+  seed : int;
+  faults : Fault.t list;  (* the minimized schedule *)
+  byz : (int * string) list;
+  triggers : Nemesis.trigger list;
+  violations : string list;  (* rendered verdicts, informational *)
+  original_faults : Fault.t list;  (* pre-shrink, informational *)
+}
+
+let of_outcome ~scenario ~minimized (outcome : Scenario.outcome) =
+  {
+    scenario;
+    seed = outcome.case.case_seed;
+    faults = minimized;
+    byz = outcome.case.byz;
+    triggers = outcome.case.triggers;
+    violations = List.map Oracle.violation_to_string outcome.violations;
+    original_faults = outcome.case.faults;
+  }
+
+let case t =
+  {
+    Nemesis.case_seed = t.seed;
+    faults = t.faults;
+    byz = t.byz;
+    triggers = t.triggers;
+  }
+
+let trigger_to_json (tr : Nemesis.trigger) =
+  Json.Obj
+    [
+      ("phase", Json.String tr.phase);
+      ("occurrence", Json.Int tr.occurrence);
+      ("action", Json.String (Nemesis.action_name tr.action));
+    ]
+
+let trigger_of_json j =
+  let ( let* ) = Result.bind in
+  let str k =
+    match Json.member k j with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "trigger: missing string field %S" k)
+  in
+  let* phase = str "phase" in
+  let* occurrence =
+    match Json.member "occurrence" j with
+    | Some (Json.Int n) -> Ok n
+    | _ -> Error "trigger: missing int field \"occurrence\""
+  in
+  let* action_name = str "action" in
+  match Nemesis.action_of_name action_name with
+  | Some action -> Ok { Nemesis.phase; occurrence; action }
+  | None -> Error (Printf.sprintf "trigger: unknown action %S" action_name)
+
+let to_json t =
+  Json.Obj
+    [
+      ("format", Json.String "rdma-agreement/chaos-repro");
+      ("version", Json.Int 1);
+      ("scenario", Json.String t.scenario);
+      ("seed", Json.Int t.seed);
+      ("faults", Fault_codec.schedule_to_json t.faults);
+      ( "byz",
+        Json.List
+          (List.map
+             (fun (pid, attack) ->
+               Json.Obj [ ("pid", Json.Int pid); ("attack", Json.String attack) ])
+             t.byz) );
+      ("triggers", Json.List (List.map trigger_to_json t.triggers));
+      ("violations", Json.List (List.map (fun v -> Json.String v) t.violations));
+      ("original_faults", Fault_codec.schedule_to_json t.original_faults);
+    ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let* scenario =
+    match Json.member "scenario" j with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error "repro: missing string field \"scenario\""
+  in
+  let* seed =
+    match Json.member "seed" j with
+    | Some (Json.Int n) -> Ok n
+    | _ -> Error "repro: missing int field \"seed\""
+  in
+  let* faults =
+    match Json.member "faults" j with
+    | Some fj -> Fault_codec.schedule_of_json fj
+    | None -> Error "repro: missing field \"faults\""
+  in
+  let* byz =
+    match Json.member "byz" j with
+    | None -> Ok []
+    | Some (Json.List l) ->
+        List.fold_left
+          (fun acc bj ->
+            let* acc = acc in
+            match (Json.member "pid" bj, Json.member "attack" bj) with
+            | Some (Json.Int pid), Some (Json.String attack) ->
+                Ok ((pid, attack) :: acc)
+            | _ -> Error "repro: malformed byz entry")
+          (Ok []) l
+        |> Result.map List.rev
+    | Some _ -> Error "repro: field \"byz\" is not a list"
+  in
+  let* triggers =
+    match Json.member "triggers" j with
+    | None -> Ok []
+    | Some (Json.List l) ->
+        List.fold_left
+          (fun acc tj ->
+            let* acc = acc in
+            let* tr = trigger_of_json tj in
+            Ok (tr :: acc))
+          (Ok []) l
+        |> Result.map List.rev
+    | Some _ -> Error "repro: field \"triggers\" is not a list"
+  in
+  let violations =
+    match Json.member "violations" j with
+    | Some (Json.List l) ->
+        List.filter_map (function Json.String s -> Some s | _ -> None) l
+    | _ -> []
+  in
+  let original_faults =
+    match Json.member "original_faults" j with
+    | Some fj -> (
+        match Fault_codec.schedule_of_json fj with Ok l -> l | Error _ -> [])
+    | None -> []
+  in
+  Ok { scenario; seed; faults; byz; triggers; violations; original_faults }
+
+let to_string t = Json.to_string (to_json t)
+
+let of_string s =
+  match Json.parse s with Ok j -> of_json j | Error e -> Error e
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string t);
+      output_char oc '\n')
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

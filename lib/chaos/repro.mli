@@ -1,0 +1,28 @@
+(** Repro artifacts: minimized violating chaos cases as deterministic
+    JSON files, replayable bit-for-bit. *)
+
+open Rdma_consensus
+
+type t = {
+  scenario : string;
+  seed : int;
+  faults : Fault.t list;  (** the minimized schedule *)
+  byz : (int * string) list;
+  triggers : Nemesis.trigger list;
+  violations : string list;  (** rendered verdicts, informational *)
+  original_faults : Fault.t list;  (** pre-shrink, informational *)
+}
+
+val of_outcome :
+  scenario:string -> minimized:Fault.t list -> Scenario.outcome -> t
+
+(** The replayable case the artifact denotes. *)
+val case : t -> Nemesis.case
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+
+val save : t -> string -> unit
+
+val load : string -> (t, string) result

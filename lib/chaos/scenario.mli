@@ -1,0 +1,63 @@
+(** The chaos scenario registry: one entry per algorithm, binding its
+    fault-model budget, phase-span names, Byzantine attack pool, oracle
+    deadline, and an executor that runs one generated case. *)
+
+open Rdma_mm
+open Rdma_consensus
+
+type exec =
+  seed:int ->
+  inputs:string array ->
+  faults:Fault.t list ->
+  byzantine:(int * (string Cluster.ctx -> unit)) list ->
+  prepare:(string Cluster.t -> unit) ->
+  Report.t
+
+type t = {
+  name : string;
+  descr : string;
+  n : int;
+  m : int;
+  budget : Nemesis.budget;
+  phases : string list;  (** span names the telemetry adversary may hook *)
+  attack_pool : (string * (string Cluster.ctx -> unit)) list;
+  max_byz : int;
+  deadline : float;  (** oracle watchdog deadline, in virtual delays *)
+  exec : exec;
+}
+
+val all : t list
+
+val find : string -> t option
+
+val names : unit -> string list
+
+val attack : t -> string -> (string Cluster.ctx -> unit) option
+
+(** The fixed per-run proposal vector ["v0"; "v1"; ...]. *)
+val inputs : t -> string array
+
+type outcome = {
+  case : Nemesis.case;
+  report : Report.t option;  (** [None] when the run aborted *)
+  violations : Oracle.violation list;
+  fired : (float * string) list;  (** adversary actions, with fire times *)
+}
+
+val passed : outcome -> bool
+
+(** Run one case deterministically: install the oracle and telemetry
+    triggers via [prepare], execute, and return the verdict. *)
+val run : t -> Nemesis.case -> outcome
+
+(** Generate the case for [seed] under this scenario's constraints.
+    [over_budget] lifts the crash budget past the fault model (expected
+    violations — shrinker fodder). *)
+val generate :
+  t ->
+  ?adversary:bool ->
+  ?byz:bool ->
+  ?over_budget:bool ->
+  seed:int ->
+  unit ->
+  Nemesis.case

@@ -1,0 +1,42 @@
+(* Greedy counterexample minimization: repeatedly try dropping single
+   faults from a violating schedule, keeping any removal after which the
+   run still violates, until no single removal preserves the failure (a
+   1-minimal schedule, in delta-debugging terms).
+
+   Every probe is a full deterministic re-run, so the minimized schedule
+   is guaranteed to still violate — there is no abstraction gap between
+   "the shrinker thinks this fails" and "it fails".  A run cap bounds
+   the worst case ([length^2] probes for a list that shrinks one element
+   per pass). *)
+
+open Rdma_consensus
+
+(* Remove the element at [i]. *)
+let drop i l = List.filteri (fun j _ -> j <> i) l
+
+(* [minimize ~still_fails faults] returns the minimized schedule and the
+   number of probe runs spent.  [still_fails] must be deterministic. *)
+let minimize ?(max_runs = 200) ~still_fails (faults : Fault.t list) =
+  let runs = ref 0 in
+  let probe candidate =
+    incr runs;
+    still_fails candidate
+  in
+  let rec pass faults i =
+    if i >= List.length faults || !runs >= max_runs then faults
+    else
+      let candidate = drop i faults in
+      if probe candidate then
+        (* the fault at [i] was not needed: keep the smaller schedule and
+           retry the same index, which now names the next element *)
+        pass candidate i
+      else pass faults (i + 1)
+  in
+  let rec fixpoint faults =
+    let smaller = pass faults 0 in
+    if List.length smaller < List.length faults && !runs < max_runs then
+      fixpoint smaller
+    else smaller
+  in
+  let minimized = fixpoint faults in
+  (minimized, !runs)

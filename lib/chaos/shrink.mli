@@ -1,0 +1,14 @@
+(** Greedy (ddmin-style, 1-minimal) minimization of violating fault
+    schedules by deterministic re-execution. *)
+
+open Rdma_consensus
+
+(** [minimize ~still_fails faults] drops single faults while the failure
+    reproduces, to a fixpoint.  Returns the minimized schedule and the
+    number of probe runs spent.  [still_fails] must be deterministic;
+    [max_runs] (default 200) bounds the probe count. *)
+val minimize :
+  ?max_runs:int ->
+  still_fails:(Fault.t list -> bool) ->
+  Fault.t list ->
+  Fault.t list * int

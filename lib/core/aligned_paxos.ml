@@ -22,6 +22,7 @@ open Rdma_sim
 open Rdma_mem
 open Rdma_mm
 open Rdma_net
+open Rdma_obs
 
 let region = "aligned"
 
@@ -142,9 +143,14 @@ type handle = { decision : Report.decision Ivar.t }
 let decision h = h.decision
 
 let decide_now (ctx : _ Cluster.ctx) decision value =
-  ignore
-    (Ivar.try_fill decision
-       { Report.value; at = Engine.now ctx.Cluster.ctx_engine })
+  if
+    Ivar.try_fill decision
+      { Report.value; at = Engine.now ctx.Cluster.ctx_engine }
+  then
+    Obs.event
+      (Engine.obs ctx.Cluster.ctx_engine)
+      ~actor:(Printf.sprintf "p%d" ctx.Cluster.pid)
+      (Event.Decide { pid = ctx.Cluster.pid; value })
 
 (* Route network traffic: acceptor requests to the acceptor, everything
    else to the proposer's reply box. *)

@@ -23,6 +23,7 @@
 open Rdma_sim
 open Rdma_mem
 open Rdma_mm
+open Rdma_obs
 
 let region = "disk"
 
@@ -94,9 +95,14 @@ type handle = { decision : Report.decision Ivar.t }
 let decision h = h.decision
 
 let decide_now (ctx : _ Cluster.ctx) decision value =
-  ignore
-    (Ivar.try_fill decision
-       { Report.value; at = Engine.now ctx.Cluster.ctx_engine })
+  if
+    Ivar.try_fill decision
+      { Report.value; at = Engine.now ctx.Cluster.ctx_engine }
+  then
+    Obs.event
+      (Engine.obs ctx.Cluster.ctx_engine)
+      ~actor:(Printf.sprintf "p%d" ctx.Cluster.pid)
+      (Event.Decide { pid = ctx.Cluster.pid; value })
 
 (* Publish the decision on the disks so followers can learn it without
    messages; best effort (majority ack). *)

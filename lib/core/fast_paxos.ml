@@ -27,6 +27,7 @@
 open Rdma_sim
 open Rdma_mm
 open Rdma_net
+open Rdma_obs
 
 type msg =
   | Propose of { value : string } (* round-0 fast proposal *)
@@ -110,9 +111,14 @@ type state = {
 }
 
 let decide_now st value =
-  ignore
-    (Ivar.try_fill st.decision
-       { Report.value; at = Engine.now st.ctx.Cluster.ctx_engine })
+  if
+    Ivar.try_fill st.decision
+      { Report.value; at = Engine.now st.ctx.Cluster.ctx_engine }
+  then
+    Obs.event
+      (Engine.obs st.ctx.Cluster.ctx_engine)
+      ~actor:(Printf.sprintf "p%d" st.ctx.Cluster.pid)
+      (Event.Decide { pid = st.ctx.Cluster.pid; value })
 
 let pump st =
   let continue = ref true in

@@ -1,7 +1,8 @@
 (* Declarative fault schedules, applied to a cluster before a run.
 
    These cover the model's failure and asynchrony knobs (Section 3):
-   process crashes, memory crashes, Ω behaviour, and the asynchronous
+   process crashes, memory crashes, Ω behaviour, network partitions
+   (buffered, never dropped — links are no-loss), and the asynchronous
    prefix of a partially synchronous execution. *)
 
 open Rdma_sim
@@ -20,8 +21,43 @@ type t =
   | Crash_machine of { pid : int; mid : int; at : float }
       (* a full-system crash (Section 7): the process and its co-located
          memory fail at the same instant *)
+  | Partition of { pairs : (int * int) list; at : float }
+      (* sever the ordered pairs at [at]; messages buffer until Heal *)
+  | Heal of { at : float }
+
+(* Every fault names its targets before the run starts, so a target
+   outside the cluster is a schedule bug, not a benign no-op: a typo'd
+   pid would otherwise silently test nothing. *)
+let validate cluster fault =
+  let n = Cluster.n cluster and m = Cluster.m cluster in
+  let check_pid pid =
+    if pid < 0 || pid >= n then
+      invalid_arg
+        (Printf.sprintf "Fault.apply: pid %d outside cluster of %d processes" pid n)
+  in
+  let check_mid mid =
+    if mid < 0 || mid >= m then
+      invalid_arg
+        (Printf.sprintf "Fault.apply: mid %d outside cluster of %d memories" mid m)
+  in
+  match fault with
+  | Crash_process { pid; _ } | Set_leader { pid; _ } -> check_pid pid
+  | Crash_memory { mid; _ } -> check_mid mid
+  | Crash_machine { pid; mid; _ } ->
+      check_pid pid;
+      check_mid mid
+  | Partition { pairs; _ } ->
+      List.iter
+        (fun (src, dst) ->
+          check_pid src;
+          check_pid dst)
+        pairs
+  | Async_until _ | Random_latency _ | Heal _ -> ()
 
 let apply cluster faults =
+  List.iter (validate cluster) faults;
+  let engine = Cluster.engine cluster in
+  let at_time at f = Engine.schedule engine (max 0. (at -. Engine.now engine)) f in
   List.iter
     (fun fault ->
       match fault with
@@ -38,7 +74,10 @@ let apply cluster faults =
             ~min ~max
       | Crash_machine { pid; mid; at } ->
           Cluster.crash_process_at cluster ~at pid;
-          Cluster.crash_memory_at cluster ~at mid)
+          Cluster.crash_memory_at cluster ~at mid
+      | Partition { pairs; at } ->
+          at_time at (fun () -> Network.partition (Cluster.net cluster) pairs)
+      | Heal { at } -> at_time at (fun () -> Network.heal (Cluster.net cluster)))
     faults
 
 let pp ppf = function
@@ -48,3 +87,8 @@ let pp ppf = function
   | Async_until { gst; extra } -> Fmt.pf ppf "async(+%.1f)until@%.1f" extra gst
   | Random_latency { min; max } -> Fmt.pf ppf "latency~U[%.1f,%.1f)" min max
   | Crash_machine { pid; mid; at } -> Fmt.pf ppf "crash machine(p%d,mu%d)@%.1f" pid mid at
+  | Partition { pairs; at } ->
+      Fmt.pf ppf "partition{%a}@%.1f"
+        Fmt.(list ~sep:(any ",") (fun ppf (s, d) -> Fmt.pf ppf "%d>%d" s d))
+        pairs at
+  | Heal { at } -> Fmt.pf ppf "heal@%.1f" at

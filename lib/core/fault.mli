@@ -14,7 +14,15 @@ type t =
   | Crash_machine of { pid : int; mid : int; at : float }
       (** a full-system crash (Section 7): the process and its co-located
           memory fail at the same instant *)
+  | Partition of { pairs : (int * int) list; at : float }
+      (** sever the ordered pairs at time [at]; messages across severed
+          links are buffered (links are no-loss), never dropped *)
+  | Heal of { at : float }
+      (** clear all severed pairs at [at] and flush buffered messages *)
 
+(** Schedule the faults on the cluster.  Raises [Invalid_argument] if a
+    fault targets a pid or mid outside the cluster — a typo'd target
+    would otherwise silently test nothing. *)
 val apply : 'm Cluster.t -> t list -> unit
 
 val pp : Format.formatter -> t -> unit

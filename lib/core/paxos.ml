@@ -141,7 +141,7 @@ module Make (T : Transport.S) = struct
 
   (* Collect replies to [ballot] until [quorum] positive replies, a
      reject, the deadline, or a decision.  Returns the positive replies. *)
-  type 'a collect = Quorum of 'a list | Rejected | Timeout | Decided
+  type 'a collect = Quorum of 'a list | Rejected of int | Timeout | Decided
 
   let collect_replies t ~ballot ~quorum ~extract =
     let deadline = Engine.now t.engine +. t.cfg.round_timeout in
@@ -158,7 +158,7 @@ module Make (T : Transport.S) = struct
           | Some (from, m) -> (
               match m with
               | Decide _ -> Decided
-              | Reject { ballot = b; _ } when b = ballot -> Rejected
+              | Reject { ballot = b; higher } when b = ballot -> Rejected higher
               | _ -> (
                   match extract from m with
                   | Some r when not (List.mem from seen) ->
@@ -172,6 +172,14 @@ module Make (T : Transport.S) = struct
     let actor = Printf.sprintf "p%d" (me t) in
     let round = ref 0 in
     let continue = ref true in
+    (* Ballot skipping: a Reject names the higher ballot the acceptor has
+       promised, so jump the round counter past it instead of ratcheting
+       up one round at a time.  Without this, a leader taking over from a
+       long-lived predecessor needs one (slow) round per ballot it is
+       behind — enough to stall liveness past any finite patience. *)
+    let catch_up higher =
+      round := max !round ((higher - me t - 1) / T.n t.tr)
+    in
     while !continue && not (Ivar.is_full t.decision) do
       Omega.wait_until_leader t.omega ~me:(me t);
       if Ivar.is_full t.decision then continue := false
@@ -193,7 +201,10 @@ module Make (T : Transport.S) = struct
           in
           match phase1 with
           | Decided -> continue := false
-          | Rejected | Timeout -> Engine.sleep t.cfg.retry_backoff
+          | Rejected higher ->
+              catch_up higher;
+              Engine.sleep t.cfg.retry_backoff
+          | Timeout -> Engine.sleep t.cfg.retry_backoff
           | Quorum promises -> (
               let value =
                 let best =
@@ -217,7 +228,10 @@ module Make (T : Transport.S) = struct
               in
               match phase2 with
               | Decided -> continue := false
-              | Rejected | Timeout -> Engine.sleep t.cfg.retry_backoff
+              | Rejected higher ->
+                  catch_up higher;
+                  Engine.sleep t.cfg.retry_backoff
+              | Timeout -> Engine.sleep t.cfg.retry_backoff
               | Quorum _ ->
                   (* Decide and tell everyone (self included: the pump
                      records the decision uniformly). *)

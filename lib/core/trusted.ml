@@ -178,6 +178,14 @@ let t_send t msg =
   (* the NEB sequence number equals the count of our prior broadcasts *)
   List.iter (function Sent _ -> incr k | Received _ -> ()) oldest_first;
   let seq = !k + 1 in
+  (* Append the Sent entry NOW, before the broadcast yields to the
+     simulator: Neb.broadcast blocks for the replicated write, and any
+     message delivered to us in that window would otherwise be recorded
+     ahead of this Sent — making our next presented history fail the
+     receivers' extends-check and convicting a correct process.  The
+     broadcast itself carries the pre-send snapshot, which is what the
+     protocol specifies. *)
+  t.history <- Sent { k = seq; msg } :: t.history;
   let bare_sig = Keychain.sign t.signer (bare_payload ~k:seq msg) in
   let payload =
     Codec.join3 msg (Keychain.encode bare_sig) (encode_history oldest_first)
@@ -190,5 +198,4 @@ let t_send t msg =
     Stats.set t.stats "trusted.max_history_entries" hist_len;
   if String.length payload > Stats.get t.stats "trusted.max_payload_bytes" then
     Stats.set t.stats "trusted.max_payload_bytes" (String.length payload);
-  Neb.broadcast t.neb payload;
-  t.history <- Sent { k = seq; msg } :: t.history
+  Neb.broadcast t.neb payload

@@ -52,6 +52,24 @@ type 'm ctx = {
   spawn_sub : string -> (unit -> unit) -> unit;
 }
 
+(* Eventually-accurate failure detection: after the detection delay, if
+   Ω still points at a crashed process, repoint to the lowest-id live
+   correct one (falling back to any live process when every survivor is
+   Byzantine — a configuration outside every fault model, but Ω should
+   not dangle).  Choosing the target at fire time (not at scheduling
+   time) keeps Ω correct when several processes crash together. *)
+let schedule_repoint t =
+  Engine.schedule t.engine t.detection_delay (fun () ->
+      if t.crashed.(Omega.leader t.omega) then begin
+        let live = List.filter (fun p -> not t.crashed.(p)) (List.init t.n Fun.id) in
+        match List.filter (fun p -> not t.byzantine.(p)) live with
+        | next :: _ -> Omega.set_leader t.omega next
+        | [] -> (
+            match live with
+            | next :: _ -> Omega.set_leader t.omega next
+            | [] -> ())
+      end)
+
 let create ?(seed = 1) ?(max_steps = 20_000_000) ?(latency = 1.0)
     ?(legal_change = Permission.static_permissions) ?(initial_leader = 0) ~n ~m () =
   let engine = Engine.create ~max_steps ~seed () in
@@ -73,23 +91,39 @@ let create ?(seed = 1) ?(max_steps = 20_000_000) ?(latency = 1.0)
   in
   let net = Network.create ~latency ~engine ~stats ~n () in
   let omega = Omega.create ~engine ~initial:initial_leader in
-  {
-    engine;
-    stats;
-    trace;
-    n;
-    m;
-    keychain;
-    memories;
-    net;
-    omega;
-    fibers = Array.make n None;
-    sub_fibers = Array.make n [];
-    crashed = Array.make n false;
-    byzantine = Array.make n false;
-    auto_leader = true;
-    detection_delay = 8.0;
-  }
+  let t =
+    {
+      engine;
+      stats;
+      trace;
+      n;
+      m;
+      keychain;
+      memories;
+      net;
+      omega;
+      fibers = Array.make n None;
+      sub_fibers = Array.make n [];
+      crashed = Array.make n false;
+      byzantine = Array.make n false;
+      auto_leader = true;
+      detection_delay = 8.0;
+    }
+  in
+  (* Eventual accuracy covers leadership changes too: if Ω is ever
+     pointed at an already-crashed process (a test-injected flap), the
+     failure detector corrects it after the detection delay, exactly as
+     it does for a crash of the current leader. *)
+  let rec watch () =
+    Omega.on_change t.omega
+      ~want:(fun _ -> true)
+      (fun () ->
+        if t.auto_leader && t.crashed.(Omega.leader t.omega) then
+          schedule_repoint t;
+        watch ())
+  in
+  watch ();
+  t
 
 let engine t = t.engine
 
@@ -185,6 +219,14 @@ let correct_pids t =
     (fun p -> (not t.crashed.(p)) && not t.byzantine.(p))
     (List.init t.n Fun.id)
 
+let byzantine_pids t =
+  List.filter (fun p -> t.byzantine.(p)) (List.init t.n Fun.id)
+
+let crashed_pids t = List.filter (fun p -> t.crashed.(p)) (List.init t.n Fun.id)
+
+let crashed_mids t =
+  List.filter (fun mid -> Memory.is_crashed t.memories.(mid)) (List.init t.m Fun.id)
+
 let crash_process t pid =
   if not t.crashed.(pid) then begin
     t.crashed.(pid) <- true;
@@ -192,20 +234,7 @@ let crash_process t pid =
     List.iter Engine.cancel t.sub_fibers.(pid);
     Trace.recordf t.trace ~at:(Engine.now t.engine) ~actor:(Printf.sprintf "p%d" pid)
       "CRASH";
-    (* Eventually-accurate failure detection: after the detection delay,
-       if Ω still points at a crashed process, repoint to the lowest-id
-       live one.  Choosing the target at fire time (not now) keeps Ω
-       correct when several processes crash together. *)
-    if t.auto_leader then
-      Engine.schedule t.engine t.detection_delay (fun () ->
-          if t.crashed.(Omega.leader t.omega) then begin
-            let alive =
-              List.filter (fun p -> not t.crashed.(p)) (List.init t.n Fun.id)
-            in
-            match alive with
-            | [] -> ()
-            | next :: _ -> Omega.set_leader t.omega next
-          end)
+    if t.auto_leader then schedule_repoint t
   end
 
 let crash_process_at t ~at pid =

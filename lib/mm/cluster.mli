@@ -96,6 +96,15 @@ val is_crashed : 'm t -> int -> bool
 
 val correct_pids : 'm t -> int list
 
+(** Processes spawned with {!spawn_byzantine}. *)
+val byzantine_pids : 'm t -> int list
+
+(** Processes crashed so far (by injected faults or direct calls). *)
+val crashed_pids : 'm t -> int list
+
+(** Memories crashed so far. *)
+val crashed_mids : 'm t -> int list
+
 val crash_process : 'm t -> int -> unit
 
 val crash_process_at : 'm t -> at:float -> int -> unit

@@ -66,7 +66,23 @@ let set_gst t ~at ~extra =
   t.gst <- at;
   t.pre_gst_extra <- extra
 
-let partition t pairs = t.partitioned <- pairs @ t.partitioned
+let partition t pairs =
+  List.iter
+    (fun (src, dst) ->
+      if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+        invalid_arg "Network.partition: pid out of range")
+    pairs;
+  t.partitioned <- pairs @ t.partitioned;
+  Obs.event t.obs ~actor:"net"
+    (Event.Custom
+       {
+         name = "net.partition";
+         detail =
+           String.concat ","
+             (List.map (fun (s, d) -> Printf.sprintf "%d>%d" s d) pairs);
+       })
+
+let severed t = t.partitioned
 
 (* Schedule the final delivery leg: the typed deliver event fires at
    arrival time, on the receiver's track, and the link latency feeds the
@@ -83,6 +99,9 @@ let heal t =
   t.partitioned <- [];
   let pending = List.rev t.buffered in
   t.buffered <- [];
+  Obs.event t.obs ~actor:"net"
+    (Event.Custom
+       { name = "net.heal"; detail = string_of_int (List.length pending) });
   List.iter
     (fun (src, dst, env) ->
       let d = t.base_latency ~src ~dst in

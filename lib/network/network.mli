@@ -24,10 +24,14 @@ val randomize_latency :
 val set_gst : 'm t -> at:float -> extra:(src:int -> dst:int -> now:float -> float) -> unit
 
 (** Sever the given ordered pairs.  Messages are buffered, not dropped
-    (links are no-loss), and flushed by {!heal}. *)
+    (links are no-loss), and flushed by {!heal}.  Raises [Invalid_argument]
+    if a pair names a pid outside [0, n). *)
 val partition : 'm t -> (int * int) list -> unit
 
 val heal : 'm t -> unit
+
+(** The currently severed ordered pairs (empty after {!heal}). *)
+val severed : 'm t -> (int * int) list
 
 (** Sending capability of one process; pins the sender identity. *)
 type 'm endpoint

@@ -34,6 +34,7 @@ type t = {
   mutable entry_count : int;
   mutable next_span_id : int;
   mutable subscribers : (at:float -> actor:string -> Event.t -> unit) list;
+  mutable span_subscribers : (span -> unit) list;
   hists : (string, string * Hist.t) Hashtbl.t; (* name -> (cat, hist) *)
   counters : (string, int ref) Hashtbl.t;
 }
@@ -46,6 +47,7 @@ let create ?(recording = false) () =
     entry_count = 0;
     next_span_id = 0;
     subscribers = [];
+    span_subscribers = [];
     hists = Hashtbl.create 32;
     counters = Hashtbl.create 32;
   }
@@ -59,6 +61,8 @@ let recording t = t.recording
 let set_recording t flag = t.recording <- flag
 
 let subscribe t f = t.subscribers <- f :: t.subscribers
+
+let subscribe_spans t f = t.span_subscribers <- f :: t.span_subscribers
 
 let push t entry =
   t.entries <- entry :: t.entries;
@@ -103,6 +107,7 @@ let span t ~actor ?(cat = "span") name =
     }
   in
   if t.recording then push t (Sp sp);
+  List.iter (fun f -> f sp) t.span_subscribers;
   sp
 
 let finish t sp =

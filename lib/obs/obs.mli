@@ -30,6 +30,13 @@ val set_recording : t -> bool -> unit
     the cluster's legacy I/O trace is one of these. *)
 val subscribe : t -> (at:float -> actor:string -> Event.t -> unit) -> unit
 
+(** Register a tap called at every span open, regardless of recording.
+    Protocol phases open spans under [~cat:"phase"], so a span tap sees
+    phase boundaries the moment they happen — the chaos adversary uses
+    this to fire faults at observed protocol state rather than at blind
+    times. *)
+val subscribe_spans : t -> (span -> unit) -> unit
+
 (** Record an instant event attributed to [actor] at the current virtual
     time. *)
 val event : t -> actor:string -> Event.t -> unit

@@ -34,4 +34,32 @@ grep -q "pmp.phase2" "$tmp/metrics1.json" || {
   exit 1
 }
 
+echo "== chaos smoke test =="
+# Fixed-seed explore batches over two algorithms: inside the fault model
+# every schedule must hold all four invariants.
+dune exec bin/rdma_agreement.exe -- chaos explore paxos \
+  --runs 25 --seed 1 --adversary
+dune exec bin/rdma_agreement.exe -- chaos explore robust-backup \
+  --runs 25 --seed 1 --adversary --byzantine
+
+# Over-budget exploration must find a violation, shrink it, and write a
+# repro artifact ...
+dune exec bin/rdma_agreement.exe -- chaos explore paxos \
+  --runs 5 --seed 1 --over-budget --expect-violations --out "$tmp/repro.json" \
+  > "$tmp/explore.out"
+
+# ... whose replay still violates (exit 1), deterministically: two
+# replays produce byte-identical verdicts.
+replay_status=0
+dune exec bin/rdma_agreement.exe -- chaos replay "$tmp/repro.json" \
+  > "$tmp/replay1.out" || replay_status=$?
+[ "$replay_status" -eq 1 ] || {
+  echo "chaos replay of a violating repro should exit 1 (got $replay_status)" >&2
+  exit 1
+}
+dune exec bin/rdma_agreement.exe -- chaos replay "$tmp/repro.json" \
+  > "$tmp/replay2.out" || true
+cmp "$tmp/replay1.out" "$tmp/replay2.out"
+echo "chaos replay deterministic: same artifact, same verdict bytes"
+
 echo "== ok =="

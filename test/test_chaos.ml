@@ -1,0 +1,293 @@
+(* Chaos harness tests: fault-schedule codec round-trips, schedule
+   validation, nemesis determinism and budget discipline, exploration
+   determinism, shrinking to minimal counterexamples, telemetry-driven
+   adversary triggers, and Byzantine containment under attack-augmented
+   schedules. *)
+
+open Rdma_obs
+open Rdma_mm
+open Rdma_consensus
+open Rdma_chaos
+
+let fault = Alcotest.testable Fault.pp ( = )
+
+let schedule : Fault.t list =
+  [
+    Crash_process { pid = 1; at = 3.5 };
+    Crash_memory { mid = 0; at = 2.0 };
+    Set_leader { pid = 2; at = 7.25 };
+    Async_until { gst = 12.0; extra = 4.0 };
+    Random_latency { min = 0.5; max = 2.5 };
+    Crash_machine { pid = 0; mid = 2; at = 9.0 };
+    Partition { pairs = [ (0, 1); (2, 0) ]; at = 4.0 };
+    Heal { at = 11.0 };
+  ]
+
+let test_codec_round_trip () =
+  match Fault_codec.schedule_of_json (Fault_codec.schedule_to_json schedule) with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok decoded ->
+      Alcotest.(check (list fault)) "full vocabulary survives" schedule decoded
+
+let test_codec_deterministic () =
+  let render () = Json.to_string (Fault_codec.schedule_to_json schedule) in
+  Alcotest.(check string) "same schedule, same bytes" (render ()) (render ());
+  (* and the rendered form parses back through the generic JSON layer *)
+  match Json.parse (render ()) with
+  | Error e -> Alcotest.failf "rendered JSON does not parse: %s" e
+  | Ok json -> (
+      match Fault_codec.schedule_of_json json with
+      | Error e -> Alcotest.failf "parsed JSON does not decode: %s" e
+      | Ok decoded ->
+          Alcotest.(check (list fault)) "parse . print = id" schedule decoded)
+
+let test_codec_rejects_garbage () =
+  (match Fault_codec.of_json (Json.String "crash") with
+  | Ok _ -> Alcotest.fail "decoded a bare string"
+  | Error _ -> ());
+  match Fault_codec.schedule_of_json (Json.List [ Json.Int 3 ]) with
+  | Ok _ -> Alcotest.fail "decoded a schedule of ints"
+  | Error _ -> ()
+
+(* Fault.apply validates every target up front: a typo'd pid/mid is a
+   schedule bug, not a silent no-op. *)
+let test_apply_validates_targets () =
+  let cluster : string Cluster.t = Cluster.create ~n:3 ~m:1 () in
+  Alcotest.check_raises "pid out of range"
+    (Invalid_argument "Fault.apply: pid 5 outside cluster of 3 processes")
+    (fun () -> Fault.apply cluster [ Crash_process { pid = 5; at = 1.0 } ]);
+  Alcotest.check_raises "mid out of range"
+    (Invalid_argument "Fault.apply: mid 1 outside cluster of 1 memories")
+    (fun () -> Fault.apply cluster [ Crash_memory { mid = 1; at = 1.0 } ]);
+  Alcotest.check_raises "partition pairs are validated too"
+    (Invalid_argument "Fault.apply: pid 9 outside cluster of 3 processes")
+    (fun () ->
+      Fault.apply cluster [ Partition { pairs = [ (0, 9) ]; at = 1.0 } ]);
+  Alcotest.check_raises "machine crash checks both halves"
+    (Invalid_argument "Fault.apply: mid 4 outside cluster of 1 memories")
+    (fun () ->
+      Fault.apply cluster [ Crash_machine { pid = 0; mid = 4; at = 1.0 } ])
+
+let get_scenario name =
+  match Scenario.find name with
+  | Some s -> s
+  | None -> Alcotest.failf "scenario %s not registered" name
+
+let test_nemesis_deterministic () =
+  let s = get_scenario "robust-backup" in
+  for seed = 1 to 20 do
+    let a = Scenario.generate s ~adversary:true ~byz:true ~seed () in
+    let b = Scenario.generate s ~adversary:true ~byz:true ~seed () in
+    if a <> b then Alcotest.failf "seed %d generated two different cases" seed
+  done
+
+let count p l = List.length (List.filter p l)
+
+(* Every generated schedule stays inside the scenario's fault budget —
+   the nemesis never leaves the algorithm's fault model on its own. *)
+let test_nemesis_respects_budget () =
+  List.iter
+    (fun (s : Scenario.t) ->
+      let b = s.budget in
+      for seed = 1 to 50 do
+        let case = Scenario.generate s ~adversary:true ~byz:true ~seed () in
+        let faults = case.Nemesis.faults in
+        let crashes =
+          count (function Fault.Crash_process _ -> true | _ -> false) faults
+        in
+        let machine =
+          count (function Fault.Crash_machine _ -> true | _ -> false) faults
+        in
+        let mem =
+          count (function Fault.Crash_memory _ -> true | _ -> false) faults
+        in
+        let flaps =
+          count (function Fault.Set_leader _ -> true | _ -> false) faults
+        in
+        let triggered_crashes =
+          count
+            (fun (tr : Nemesis.trigger) -> tr.action <> Nemesis.Flip_leader)
+            case.Nemesis.triggers
+        in
+        (* crashes from any source — scheduled, Byzantine replacement,
+           trigger-fired — share the fP pool *)
+        let fp_used =
+          crashes + machine + triggered_crashes + List.length case.Nemesis.byz
+        in
+        if fp_used > b.Nemesis.max_process_crashes then
+          Alcotest.failf "%s seed %d: %d process-fault slots > fP=%d" s.name
+            seed fp_used b.Nemesis.max_process_crashes;
+        if mem + machine > b.Nemesis.max_memory_crashes + b.Nemesis.max_machine_crashes
+        then
+          Alcotest.failf "%s seed %d: memory budget exceeded" s.name seed;
+        (* +1: when the initial leader goes Byzantine the nemesis adds a
+           corrective repoint outside the flap pool *)
+        if flaps > b.Nemesis.max_leader_flaps + 1 then
+          Alcotest.failf "%s seed %d: %d flaps > %d" s.name seed flaps
+            b.Nemesis.max_leader_flaps;
+        (* +2: a Partition pick emits its Heal companion, and the
+           Byzantine leader fix rides along outside the cap *)
+        if List.length faults > b.Nemesis.max_faults + 2 then
+          Alcotest.failf "%s seed %d: schedule too long" s.name seed;
+        List.iter
+          (fun f ->
+            match (f : Fault.t) with
+            | Crash_process { at; _ }
+            | Crash_memory { at; _ }
+            | Crash_machine { at; _ }
+            | Set_leader { at; _ }
+            | Partition { at; _ } ->
+                if at < 0.0 || at > b.Nemesis.horizon then
+                  Alcotest.failf "%s seed %d: fault outside horizon" s.name seed
+            | Heal { at } ->
+                (* heals land at partition start + 2.0 + U[0, horizon/2),
+                   so they may trail the horizon by the 2.0 grace gap *)
+                if at < 0.0 || at > b.Nemesis.horizon +. 2.0 then
+                  Alcotest.failf "%s seed %d: heal outside horizon" s.name seed
+            | Async_until { gst; extra } ->
+                (* drawn as 1.0 + U[0, max): max_gst = 0 disables the
+                   asynchronous prefix entirely, hence the offset *)
+                if gst > 1.0 +. b.Nemesis.max_gst || extra > 1.0 +. b.Nemesis.max_extra
+                then Alcotest.failf "%s seed %d: GST outside budget" s.name seed
+            | Random_latency _ ->
+                if not b.Nemesis.allow_latency then
+                  Alcotest.failf "%s seed %d: latency not allowed" s.name seed)
+          faults
+      done)
+    Scenario.all
+
+let batch_digest (b : Explore.batch) =
+  let failure (f : Explore.failure) =
+    Printf.sprintf "seed=%d probes=%d %s" f.outcome.case.Nemesis.case_seed
+      f.shrink_probes
+      (Repro.to_string f.repro)
+  in
+  Printf.sprintf "passed=%d failures=[%s]" b.passed
+    (String.concat ";" (List.map failure b.failures))
+
+let test_explore_deterministic () =
+  let s = get_scenario "paxos" in
+  let options =
+    { Explore.default_options with runs = 12; seed = 5; over_budget = true }
+  in
+  let a = Explore.explore ~options s in
+  let b = Explore.explore ~options s in
+  Alcotest.(check string) "identical batches" (batch_digest a) (batch_digest b)
+
+(* The flagship acceptance demo: an over-budget paxos batch violates,
+   the shrinker strictly reduces the schedule, and replaying the repro
+   artifact still violates. *)
+let test_shrinker_minimizes () =
+  let s = get_scenario "paxos" in
+  let options =
+    { Explore.default_options with runs = 5; seed = 1; over_budget = true }
+  in
+  let batch = Explore.explore ~options s in
+  match batch.failures with
+  | [] -> Alcotest.fail "over-budget paxos batch found no violation"
+  | f :: _ ->
+      let original = List.length f.repro.Repro.original_faults in
+      let minimized = List.length f.repro.Repro.faults in
+      if minimized >= original then
+        Alcotest.failf "no shrink: %d -> %d faults" original minimized;
+      (* the minimized schedule must still reproduce the violation *)
+      let replayed = Explore.replay s f.repro in
+      Alcotest.(check bool) "replay still violates" false
+        (Scenario.passed replayed);
+      (* and the artifact survives a JSON round trip bit-for-bit *)
+      (match Repro.of_string (Repro.to_string f.repro) with
+      | Error e -> Alcotest.failf "artifact round trip failed: %s" e
+      | Ok again ->
+          Alcotest.(check string) "artifact bytes stable"
+            (Repro.to_string f.repro) (Repro.to_string again));
+      (* 1-minimality: dropping any single remaining fault loses the
+         violation, so this is a *minimal* counterexample *)
+      List.iteri
+        (fun i _ ->
+          let without =
+            List.filteri (fun j _ -> j <> i) f.repro.Repro.faults
+          in
+          let case =
+            { (Repro.case f.repro) with Nemesis.faults = without }
+          in
+          if not (Scenario.passed (Scenario.run s case)) then
+            Alcotest.failf "dropping fault %d still violates: not minimal" i)
+        f.repro.Repro.faults
+
+let test_adversary_trigger_fires () =
+  let s = get_scenario "paxos" in
+  let case =
+    {
+      Nemesis.case_seed = 1;
+      faults = [];
+      byz = [];
+      triggers =
+        [
+          {
+            Nemesis.phase = "paxos.phase2";
+            occurrence = 1;
+            action = Nemesis.Crash_leader;
+          };
+        ];
+    }
+  in
+  let outcome = Scenario.run s case in
+  Alcotest.(check bool) "trigger fired" true (outcome.Scenario.fired <> []);
+  (* one trigger-fired crash is within paxos's fP = 1: the run must
+     still decide *)
+  Alcotest.(check bool) "still within the fault model" true
+    (Scenario.passed outcome)
+
+(* >= 200 attack-augmented schedules per flagship algorithm: Byzantine
+   containment holds (no agreement/validity/liveness violation) with the
+   telemetry adversary armed on top. *)
+let containment name =
+  let s = get_scenario name in
+  let options =
+    {
+      Explore.default_options with
+      runs = 200;
+      seed = 1;
+      adversary = true;
+      byz = true;
+    }
+  in
+  let batch = Explore.explore ~options s in
+  let show (f : Explore.failure) =
+    Printf.sprintf "seed %d: %s" f.outcome.case.Nemesis.case_seed
+      (String.concat ", "
+         (List.map Oracle.violation_to_string f.outcome.Scenario.violations))
+  in
+  Alcotest.(check (list string))
+    (name ^ " contains Byzantine behaviour across 200 schedules") []
+    (List.map show batch.failures);
+  Alcotest.(check int) "all 200 ran" 200 (batch.passed + List.length batch.failures)
+
+let test_containment_robust_backup () = containment "robust-backup"
+
+let test_containment_fast_robust () = containment "fast-robust"
+
+let suite =
+  [
+    Alcotest.test_case "fault codec round trip" `Quick test_codec_round_trip;
+    Alcotest.test_case "fault codec deterministic" `Quick
+      test_codec_deterministic;
+    Alcotest.test_case "fault codec rejects garbage" `Quick
+      test_codec_rejects_garbage;
+    Alcotest.test_case "Fault.apply validates targets" `Quick
+      test_apply_validates_targets;
+    Alcotest.test_case "nemesis deterministic per seed" `Quick
+      test_nemesis_deterministic;
+    Alcotest.test_case "nemesis respects fault budgets" `Quick
+      test_nemesis_respects_budget;
+    Alcotest.test_case "exploration is deterministic" `Quick
+      test_explore_deterministic;
+    Alcotest.test_case "shrinker yields minimal repro" `Quick
+      test_shrinker_minimizes;
+    Alcotest.test_case "telemetry adversary fires at phase boundary" `Quick
+      test_adversary_trigger_fires;
+    Alcotest.test_case "robust-backup Byzantine containment (200 runs)" `Slow
+      test_containment_robust_backup;
+    Alcotest.test_case "fast-robust Byzantine containment (200 runs)" `Slow
+      test_containment_fast_robust;
+  ]

@@ -30,6 +30,7 @@ let () =
       ("lock-service", Test_lock_service.suite);
       ("bft-log", Test_bft_log.suite);
       ("properties", Test_properties.suite);
+      ("chaos", Test_chaos.suite);
       ("stress", Test_stress.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("scale", Test_scale.suite);

@@ -90,6 +90,81 @@ let test_partition_buffers_not_drops () =
   Engine.run engine;
   Alcotest.(check (float 0.0)) "buffered message delivered after heal" 21.0 !got_at
 
+(* No-loss under partition, exhaustively: several messages in both
+   directions are buffered (never dropped) and every one is delivered
+   once the partition heals. *)
+let test_partition_no_loss_multi () =
+  let engine, _, net = build () in
+  Network.partition net [ (0, 1); (1, 0) ];
+  Alcotest.(check (list (pair int int)))
+    "severed pairs visible" [ (0, 1); (1, 0) ] (Network.severed net);
+  let at_1 = ref [] and at_0 = ref [] in
+  ignore
+    (Engine.spawn engine "recv1" (fun () ->
+         for _ = 1 to 3 do
+           let _, m = Network.recv (Network.endpoint net 1) in
+           at_1 := m :: !at_1
+         done));
+  ignore
+    (Engine.spawn engine "recv0" (fun () ->
+         for _ = 1 to 2 do
+           let _, m = Network.recv (Network.endpoint net 0) in
+           at_0 := m :: !at_0
+         done));
+  ignore
+    (Engine.spawn engine "send" (fun () ->
+         let e0 = Network.endpoint net 0 and e1 = Network.endpoint net 1 in
+         Network.send e0 ~dst:1 "a";
+         Network.send e1 ~dst:0 "x";
+         Engine.sleep 2.0;
+         Network.send e0 ~dst:1 "b";
+         Network.send e1 ~dst:0 "y";
+         Engine.sleep 2.0;
+         Network.send e0 ~dst:1 "c"));
+  Engine.schedule engine 10.0 (fun () -> Network.heal net);
+  Engine.run engine;
+  Alcotest.(check (list string))
+    "all 0->1 messages delivered after heal" [ "a"; "b"; "c" ]
+    (List.sort compare !at_1);
+  Alcotest.(check (list string))
+    "all 1->0 messages delivered after heal" [ "x"; "y" ]
+    (List.sort compare !at_0);
+  Alcotest.(check (list (pair int int))) "healed" [] (Network.severed net)
+
+(* Links are not FIFO: with randomized per-message latency, a message
+   buffered later can overtake one buffered earlier when the heal
+   flushes them — the model only guarantees integrity and no-loss. *)
+let test_partition_heal_overtakes () =
+  let engine = Engine.create ~seed:3 () in
+  let stats = Stats.create () in
+  let net : string Network.t = Network.create ~engine ~stats ~n:2 () in
+  Network.randomize_latency net ~rng:(Engine.rng engine) ~min:0.5 ~max:5.0;
+  Network.partition net [ (0, 1) ];
+  let got = ref [] in
+  ignore
+    (Engine.spawn engine "recv" (fun () ->
+         for _ = 1 to 2 do
+           let _, m = Network.recv (Network.endpoint net 1) in
+           got := m :: !got
+         done));
+  ignore
+    (Engine.spawn engine "send" (fun () ->
+         let ep = Network.endpoint net 0 in
+         Network.send ep ~dst:1 "first";
+         Engine.sleep 1.0;
+         Network.send ep ~dst:1 "second"));
+  Engine.schedule engine 10.0 (fun () -> Network.heal net);
+  Engine.run engine;
+  Alcotest.(check (list string))
+    "later message overtakes the earlier one" [ "second"; "first" ]
+    (List.rev !got)
+
+let test_partition_rejects_bad_pid () =
+  let _, _, net = build () in
+  Alcotest.check_raises "pid out of range"
+    (Invalid_argument "Network.partition: pid out of range") (fun () ->
+      Network.partition net [ (0, 3) ])
+
 let test_recv_timeout () =
   let engine, _, net = build () in
   let got = ref (Some (0, "x")) in
@@ -155,6 +230,12 @@ let suite =
     Alcotest.test_case "pre-GST asynchrony" `Quick test_gst_extra_delay;
     Alcotest.test_case "partition buffers, heal flushes" `Quick
       test_partition_buffers_not_drops;
+    Alcotest.test_case "partition no-loss, both directions" `Quick
+      test_partition_no_loss_multi;
+    Alcotest.test_case "heal flush can reorder (non-FIFO)" `Quick
+      test_partition_heal_overtakes;
+    Alcotest.test_case "partition validates pids" `Quick
+      test_partition_rejects_bad_pid;
     Alcotest.test_case "recv timeout" `Quick test_recv_timeout;
     Alcotest.test_case "omega wakes new leader" `Quick test_omega_wait_until_leader;
     Alcotest.test_case "omega immediate when leader" `Quick test_omega_already_leader;
