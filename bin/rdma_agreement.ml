@@ -102,6 +102,25 @@ let event_conv =
   let print ppf (id, at) = Fmt.pf ppf "%d@%.1f" id at in
   Arg.conv (parse, print)
 
+(* "pid:mid@time" *)
+let machine_conv =
+  let parse s =
+    let err () = Error (`Msg (Printf.sprintf "expected PID:MID@TIME, got %s" s)) in
+    match String.split_on_char '@' s with
+    | [ ids; at ] -> (
+        match String.split_on_char ':' ids with
+        | [ pid; mid ] -> (
+            match
+              (int_of_string_opt pid, int_of_string_opt mid, float_of_string_opt at)
+            with
+            | Some pid, Some mid, Some at -> Ok (pid, mid, at)
+            | _ -> err ())
+        | _ -> err ())
+    | _ -> err ()
+  in
+  let print ppf (pid, mid, at) = Fmt.pf ppf "%d:%d@%.1f" pid mid at in
+  Arg.conv (parse, print)
+
 let run_cmd =
   let algo =
     let doc = "Algorithm to run (see the list command)." in
@@ -131,6 +150,23 @@ let run_cmd =
     let doc = "Crash memory MID at TIME (repeatable)." in
     Arg.(value & opt_all event_conv [] & info [ "crash-memory" ] ~docv:"MID@TIME" ~doc)
   in
+  let recover_mems =
+    let doc =
+      "Recover crashed memory MID at TIME (repeatable): it rejoins EMPTY \
+       under a fresh epoch and must be re-replicated by the protocol."
+    in
+    Arg.(value & opt_all event_conv []
+        & info [ "recover-memory" ] ~docv:"MID@TIME" ~doc)
+  in
+  let restart_machines =
+    let doc =
+      "Restart the machine hosting process PID and memory MID at TIME \
+       (repeatable): the memory rejoins empty and the process re-runs its \
+       program, e.g. 0:1@5.0."
+    in
+    Arg.(value & opt_all machine_conv []
+        & info [ "restart-machine" ] ~docv:"PID:MID@TIME" ~doc)
+  in
   let leaders =
     let doc = "Point the leader oracle at PID at TIME (repeatable)." in
     Arg.(value & opt_all event_conv [] & info [ "set-leader" ] ~docv:"PID@TIME" ~doc)
@@ -158,8 +194,8 @@ let run_cmd =
     in
     Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
   in
-  let action name n m seed inputs crash_procs crash_mems leaders gst trace
-      trace_out metrics_out =
+  let action name n m seed inputs crash_procs crash_mems recover_mems
+      restart_machines leaders gst trace trace_out metrics_out =
     match find_algorithm name with
     | None ->
         Fmt.epr "unknown algorithm %s; try the list command@." name;
@@ -176,6 +212,10 @@ let run_cmd =
         let faults =
           List.map (fun (pid, at) -> Fault.Crash_process { pid; at }) crash_procs
           @ List.map (fun (mid, at) -> Fault.Crash_memory { mid; at }) crash_mems
+          @ List.map (fun (mid, at) -> Fault.Recover_memory { mid; at }) recover_mems
+          @ List.map
+              (fun (pid, mid, at) -> Fault.Restart_machine { pid; mid; at })
+              restart_machines
           @ List.map (fun (pid, at) -> Fault.Set_leader { pid; at }) leaders
           @
           match gst with
@@ -244,8 +284,9 @@ let run_cmd =
   let doc = "Run one consensus instance under a fault schedule." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const action $ algo $ n $ m $ seed $ inputs $ crash_procs $ crash_mems $ leaders
-      $ gst $ trace $ trace_out $ metrics_out)
+      const action $ algo $ n $ m $ seed $ inputs $ crash_procs $ crash_mems
+      $ recover_mems $ restart_machines $ leaders $ gst $ trace $ trace_out
+      $ metrics_out)
 
 let fuzz_cmd =
   let algo =

@@ -40,6 +40,16 @@ let to_json = function
           ("at", f at);
         ]
   | Fault.Heal { at } -> Json.Obj [ ("kind", Json.String "heal"); ("at", f at) ]
+  | Fault.Recover_memory { mid; at } ->
+      Json.Obj [ ("kind", Json.String "recover-memory"); ("mid", i mid); ("at", f at) ]
+  | Fault.Restart_machine { pid; mid; at } ->
+      Json.Obj
+        [
+          ("kind", Json.String "restart-machine");
+          ("pid", i pid);
+          ("mid", i mid);
+          ("at", f at);
+        ]
 
 let num_field name json =
   match Json.member name json with
@@ -104,6 +114,15 @@ let of_json json =
       | "heal" ->
           let* at = num_field "at" json in
           Ok (Fault.Heal { at })
+      | "recover-memory" ->
+          let* mid = int_field "mid" json in
+          let* at = num_field "at" json in
+          Ok (Fault.Recover_memory { mid; at })
+      | "restart-machine" ->
+          let* pid = int_field "pid" json in
+          let* mid = int_field "mid" json in
+          let* at = num_field "at" json in
+          Ok (Fault.Restart_machine { pid; mid; at })
       | other -> Error (Printf.sprintf "fault: unknown kind %S" other))
   | _ -> Error "fault: missing kind"
 

@@ -34,6 +34,10 @@ type budget = {
   max_gst : float;  (* 0. = no asynchronous prefix *)
   max_extra : float;  (* pre-GST adversarial delay bound *)
   max_faults : int;  (* schedule length cap *)
+  max_recoveries : int;
+      (* how many memory/machine crashes get paired with a later
+         Recover_memory/Restart_machine; recoveries ride along outside
+         the max_faults cap *)
 }
 
 (* Lift the crash constraints of a budget: every process and memory
@@ -145,6 +149,10 @@ let generate ~budget ~n ~m ?(attack_pool = []) ?(max_byz = 0)
      accurate. *)
   let mem_pool = ref budget.max_memory_crashes in
   let machine_pool = ref budget.max_machine_crashes in
+  let recovery_pool = ref budget.max_recoveries in
+  (* recoveries trail their crash by a grace gap so the cluster observes
+     the outage before the rejoin protocol starts *)
+  let recover_at crash_at = crash_at +. 2.0 +. at rng (budget.horizon /. 2.) in
   let flap_pool = ref budget.max_leader_flaps in
   let crashable = ref (List.filter (fun p -> not (is_byz p)) (List.init n Fun.id)) in
   let mem_crashable = ref (List.init m Fun.id) in
@@ -200,7 +208,14 @@ let generate ~budget ~n ~m ?(attack_pool = []) ?(max_byz = 0)
           match take_mid () with
           | Some mid ->
               decr mem_pool;
-              faults := Fault.Crash_memory { mid; at = at rng budget.horizon } :: !faults
+              let crash_at = at rng budget.horizon in
+              faults := Fault.Crash_memory { mid; at = crash_at } :: !faults;
+              if !recovery_pool > 0 then begin
+                decr recovery_pool;
+                faults :=
+                  Fault.Recover_memory { mid; at = recover_at crash_at }
+                  :: !faults
+              end
           | None -> ())
       | `Crash_machine -> (
           match (take_pid (), take_mid ()) with
@@ -208,8 +223,14 @@ let generate ~budget ~n ~m ?(attack_pool = []) ?(max_byz = 0)
               decr fp_pool;
               decr mem_pool;
               decr machine_pool;
-              faults :=
-                Fault.Crash_machine { pid; mid; at = at rng budget.horizon } :: !faults
+              let crash_at = at rng budget.horizon in
+              faults := Fault.Crash_machine { pid; mid; at = crash_at } :: !faults;
+              if !recovery_pool > 0 then begin
+                decr recovery_pool;
+                faults :=
+                  Fault.Restart_machine { pid; mid; at = recover_at crash_at }
+                  :: !faults
+              end
           | _ -> ())
       | `Set_leader -> (
           (* flap only to processes that stay alive and honest *)

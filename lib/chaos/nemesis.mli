@@ -18,6 +18,11 @@ type budget = {
   max_gst : float;  (** 0. = no asynchronous prefix *)
   max_extra : float;
   max_faults : int;
+  max_recoveries : int;
+      (** how many memory/machine crashes get paired with a later
+          [Recover_memory]/[Restart_machine] at crash + 2.0 + U[0,
+          horizon/2); recoveries ride along outside the [max_faults]
+          cap *)
 }
 
 (** Lift the crash constraints (all processes and memories become

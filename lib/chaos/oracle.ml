@@ -13,11 +13,17 @@
      uncrashed process that has not decided by then.  Within the fault
      budget this set must be empty.
 
+   - Repair: when a scenario provides a repair predicate, every memory
+     that rejoined (a [Mem_restart] on the stream) and is still alive at
+     the watchdog must satisfy it — typically "no stale registers left",
+     i.e. the protocol re-replicated its state onto the rejoined memory.
+
    The oracle is telemetry-driven: it learns decisions by subscribing to
    the typed [Decide] events every protocol already emits, so it needs
    no per-algorithm wiring. *)
 
 open Rdma_sim
+open Rdma_mem
 open Rdma_mm
 open Rdma_obs
 open Rdma_consensus
@@ -26,6 +32,7 @@ type violation =
   | Agreement of { decisions : (int * string) list }
   | Validity of { pid : int; value : string }
   | Liveness of { undecided : int list; deadline : float }
+  | Repair of { mid : int; detail : string }
   | Aborted of { error : string }
 
 let pp_violation ppf = function
@@ -40,6 +47,8 @@ let pp_violation ppf = function
       Fmt.pf ppf "liveness: %a undecided at watchdog deadline %.1f"
         Fmt.(list ~sep:(any ",") (fun ppf pid -> Fmt.pf ppf "p%d" pid))
         undecided deadline
+  | Repair { mid; detail } ->
+      Fmt.pf ppf "repair: mu%d not re-replicated at the watchdog (%s)" mid detail
   | Aborted { error } -> Fmt.pf ppf "aborted: %s" error
 
 let violation_to_string v = Fmt.str "%a" pp_violation v
@@ -48,17 +57,34 @@ type watch = {
   deadline : float;
   mutable decided : (int * string * float) list;  (* (pid, value, at), reverse *)
   mutable missed : int list;  (* undecided correct pids at the deadline *)
+  mutable restarted : int list;  (* mids that rejoined under a fresh epoch *)
+  mutable unrepaired : (int * string) list;  (* (mid, detail) at the deadline *)
   mutable fired : bool;
 }
 
 (* Install the decision listener and the watchdog on a cluster (call
-   from a run's [prepare] hook, before the engine starts). *)
-let install ~deadline cluster =
-  let w = { deadline; decided = []; missed = []; fired = false } in
+   from a run's [prepare] hook, before the engine starts).  [repair],
+   when given, is evaluated at the watchdog for every rejoined memory
+   that is still alive: [Some detail] means the protocol failed to
+   re-replicate onto it. *)
+let install ?repair ~deadline cluster =
+  let w =
+    {
+      deadline;
+      decided = [];
+      missed = [];
+      restarted = [];
+      unrepaired = [];
+      fired = false;
+    }
+  in
   let obs = Cluster.obs cluster in
   Obs.subscribe obs (fun ~at ~actor:_ ev ->
       match ev with
       | Event.Decide { pid; value } -> w.decided <- (pid, value, at) :: w.decided
+      | Event.Mem_restart { mid; _ } ->
+          if not (List.mem mid w.restarted) then
+            w.restarted <- mid :: w.restarted
       | _ -> ());
   let engine = Cluster.engine cluster in
   Engine.schedule engine deadline (fun () ->
@@ -70,15 +96,28 @@ let install ~deadline cluster =
             (not (Cluster.is_crashed cluster pid))
             && (not (Cluster.is_byzantine cluster pid))
             && not (List.mem pid decided_pids))
-          (List.init (Cluster.n cluster) Fun.id));
+          (List.init (Cluster.n cluster) Fun.id);
+      w.unrepaired <-
+        (match repair with
+        | None -> []
+        | Some pred ->
+            List.filter_map
+              (fun mid ->
+                (* a memory that crashed again after its rejoin owes
+                   nothing: only live rejoined memories must be whole *)
+                if Memory.is_crashed (Cluster.memory cluster mid) then None
+                else Option.map (fun detail -> (mid, detail)) (pred mid))
+              (List.sort compare w.restarted)));
   w
 
 let missed w = w.missed
 
 let decided w = List.rev w.decided
 
+let restarted w = List.sort compare w.restarted
+
 (* Verdict over a completed run. *)
-let check ?watch ~inputs ~byz (report : Report.t) =
+let check ?watch ?(validity = true) ~inputs ~byz (report : Report.t) =
   let correct_decisions =
     Array.to_list report.decisions
     |> List.mapi (fun pid d -> (pid, d))
@@ -94,7 +133,9 @@ let check ?watch ~inputs ~byz (report : Report.t) =
         else [ Agreement { decisions = correct_decisions } ]
   in
   let validity =
-    if byz <> [] then []
+    (* [validity = false]: the scenario decides a derived value (e.g. a
+       joined multi-instance log) that is not literally any input *)
+    if byz <> [] || not validity then []
     else
       List.filter_map
         (fun (pid, value) ->
@@ -108,4 +149,10 @@ let check ?watch ~inputs ~byz (report : Report.t) =
         [ Liveness { undecided = w.missed; deadline = w.deadline } ]
     | _ -> []
   in
-  agreement @ validity @ liveness
+  let repair =
+    match watch with
+    | Some w when w.fired ->
+        List.map (fun (mid, detail) -> Repair { mid; detail }) w.unrepaired
+    | _ -> []
+  in
+  agreement @ validity @ liveness @ repair

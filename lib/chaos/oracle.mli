@@ -12,6 +12,9 @@ type violation =
       (** a correct process decided a value nobody proposed *)
   | Liveness of { undecided : int list; deadline : float }
       (** correct, uncrashed processes undecided at the watchdog *)
+  | Repair of { mid : int; detail : string }
+      (** a rejoined memory the protocol failed to re-replicate onto by
+          the watchdog deadline *)
   | Aborted of { error : string }
       (** the run itself died: engine deadlock or a fiber exception *)
 
@@ -23,8 +26,12 @@ type watch
 
 (** Install the decision listener (a tap on the typed [Decide] events)
     and schedule the termination watchdog at virtual time [deadline].
-    Call from a run's [prepare] hook. *)
-val install : deadline:float -> 'm Cluster.t -> watch
+    Call from a run's [prepare] hook.  [repair], when given, is
+    evaluated at the watchdog for every memory that rejoined (observed
+    via [Mem_restart]) and is still alive: [Some detail] means the
+    protocol failed to re-replicate its state onto that memory. *)
+val install :
+  ?repair:(int -> string option) -> deadline:float -> 'm Cluster.t -> watch
 
 (** Correct, uncrashed pids that had not decided when the watchdog
     fired. *)
@@ -33,8 +40,18 @@ val missed : watch -> int list
 (** Decisions seen on the telemetry stream, as [(pid, value, at)]. *)
 val decided : watch -> (int * string * float) list
 
+(** Memories observed rejoining under a fresh epoch, sorted. *)
+val restarted : watch -> int list
+
 (** Verdict over a completed run: agreement over the non-Byzantine
-    decisions, validity (crash-only runs), and the watchdog's liveness
-    result when a [watch] is given. *)
+    decisions, validity (crash-only runs; pass [~validity:false] when
+    the scenario decides a derived value that is not literally any
+    input), the watchdog's liveness result, and the repair predicate's
+    verdicts when a [watch] is given. *)
 val check :
-  ?watch:watch -> inputs:string array -> byz:int list -> Report.t -> violation list
+  ?watch:watch ->
+  ?validity:bool ->
+  inputs:string array ->
+  byz:int list ->
+  Report.t ->
+  violation list

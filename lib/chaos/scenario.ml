@@ -31,6 +31,8 @@ type t = {
   attack_pool : (string * (string Cluster.ctx -> unit)) list;
   max_byz : int;
   deadline : float;
+  repair : (string Cluster.t -> int -> string option) option;
+  validity : bool;
   exec : exec;
 }
 
@@ -46,6 +48,7 @@ let base_budget =
     max_gst = 15.0;
     max_extra = 8.0;
     max_faults = 5;
+    max_recoveries = 0;
   }
 
 (* Byzantine behaviours by name (the repro artifact stores names). *)
@@ -77,6 +80,8 @@ let all =
       attack_pool = [];
       max_byz = 0;
       deadline = 1000.0;
+      repair = None;
+      validity = true;
       exec =
         (fun ~seed ~inputs ~faults ~byzantine ~prepare ->
           assert (byzantine = []);
@@ -92,6 +97,8 @@ let all =
       attack_pool = [];
       max_byz = 0;
       deadline = 1000.0;
+      repair = None;
+      validity = true;
       exec =
         (fun ~seed ~inputs ~faults ~byzantine ~prepare ->
           assert (byzantine = []);
@@ -113,6 +120,8 @@ let all =
       attack_pool = [];
       max_byz = 0;
       deadline = 1000.0;
+      repair = None;
+      validity = true;
       exec =
         (fun ~seed ~inputs ~faults ~byzantine ~prepare ->
           assert (byzantine = []);
@@ -134,6 +143,8 @@ let all =
       attack_pool = [];
       max_byz = 0;
       deadline = 1000.0;
+      repair = None;
+      validity = true;
       exec =
         (fun ~seed ~inputs ~faults ~byzantine ~prepare ->
           assert (byzantine = []);
@@ -149,6 +160,8 @@ let all =
       attack_pool = [];
       max_byz = 0;
       deadline = 1200.0;
+      repair = None;
+      validity = true;
       exec =
         (fun ~seed ~inputs ~faults ~byzantine ~prepare ->
           assert (byzantine = []);
@@ -165,6 +178,8 @@ let all =
         [ byz_silent; byz_rb_spurious; byz_rb_double; byz_rb_unjustified ];
       max_byz = 1;
       deadline = 2000.0;
+      repair = None;
+      validity = true;
       exec =
         (fun ~seed ~inputs ~faults ~byzantine ~prepare ->
           fst
@@ -181,12 +196,64 @@ let all =
         [ byz_silent; byz_cq_equivocator; byz_cq_silent; byz_priority_liar ];
       max_byz = 1;
       deadline = 2000.0;
+      repair = None;
+      validity = true;
       exec =
         (fun ~seed ~inputs ~faults ~byzantine ~prepare ->
           let report, _, _ =
             Fast_robust.run ~seed ~n:3 ~m:3 ~inputs ~faults ~byzantine ~prepare ()
           in
           report);
+    };
+    {
+      name = "swmr-recovery";
+      descr = "SWMR replication under memory crash + rejoin; read-repair";
+      n = Workloads.swmr_n;
+      m = Workloads.swmr_m;
+      budget =
+        {
+          base_budget with
+          (* the sole writer must survive to drive the repair sweeps *)
+          max_process_crashes = 0;
+          max_memory_crashes = 1;
+          max_leader_flaps = 0;
+          allow_partition = false;
+          max_gst = 0.0;
+          max_faults = 3;
+          max_recoveries = 1;
+        };
+      phases = [];
+      attack_pool = [];
+      max_byz = 0;
+      deadline = 200.0;
+      repair = Some Workloads.swmr_stale;
+      validity = true;
+      exec = Workloads.swmr_recovery;
+    };
+    {
+      name = "pmp-multi-recovery";
+      descr = "repeated Protected Paxos: checkpoints, memory rejoin, repair";
+      n = Workloads.pmp_n;
+      m = Workloads.pmp_m;
+      budget =
+        {
+          base_budget with
+          max_process_crashes = 1;
+          (* one memory outage at a time: with a second concurrent
+             outage no write quorum exists and in-flight waits cannot be
+             re-driven, so the run would (correctly) miss its deadline *)
+          max_memory_crashes = 1;
+          max_machine_crashes = 1;
+          max_recoveries = 2;
+        };
+      phases = [];
+      attack_pool = [];
+      max_byz = 0;
+      deadline = 1000.0;
+      repair = Some Workloads.pmp_stale;
+      (* decisions are the joined instance sequence, not a literal input *)
+      validity = false;
+      exec = Workloads.pmp_multi_recovery;
     };
   ]
 
@@ -280,7 +347,11 @@ let run t (case : Nemesis.case) =
   let watch = ref None in
   let fired = ref [] in
   let prepare cluster =
-    watch := Some (Oracle.install ~deadline:t.deadline cluster);
+    watch :=
+      Some
+        (Oracle.install
+           ?repair:(Option.map (fun pred -> pred cluster) t.repair)
+           ~deadline:t.deadline cluster);
     List.iter (arm_trigger cluster ~fired) case.triggers
   in
   match
@@ -288,7 +359,8 @@ let run t (case : Nemesis.case) =
   with
   | report ->
       let violations =
-        Oracle.check ?watch:!watch ~inputs ~byz:byz_pids report
+        Oracle.check ?watch:!watch ~validity:t.validity ~inputs ~byz:byz_pids
+          report
       in
       { case; report = Some report; violations; fired = List.rev !fired }
   | exception e ->

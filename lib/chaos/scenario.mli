@@ -23,6 +23,12 @@ type t = {
   attack_pool : (string * (string Cluster.ctx -> unit)) list;
   max_byz : int;
   deadline : float;  (** oracle watchdog deadline, in virtual delays *)
+  repair : (string Cluster.t -> int -> string option) option;
+      (** evaluated at the watchdog for every rejoined, live memory:
+          [Some detail] = the protocol failed to re-replicate onto it *)
+  validity : bool;
+      (** [false] when decisions are derived values (e.g. a joined
+          multi-instance log) that are not literally any input *)
   exec : exec;
 }
 

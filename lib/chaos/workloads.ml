@@ -1,0 +1,151 @@
+(* Recovery chaos workloads: scenario executors that exercise the
+   crash → recover → repair cycle rather than a single consensus
+   instance.
+
+   - [swmr_recovery]: a writer replicates one value through the
+     Section 4.1 SWMR construction and then keeps sweeping
+     [Swmr.read_repair] while the nemesis crashes and recovers replicas;
+     a reader decides the first value a quorum read returns.  The repair
+     predicate then demands that every rejoined memory holds a fresh
+     copy ([Memory.stale_registers] empty).
+
+   - [pmp_multi_recovery]: repeated Protected Memory Paxos with
+     checkpointing and a repair custodian; the per-process decision is
+     the joined instance sequence, so the oracle checks agreement over
+     the whole log (validity is vacuous — the joined value is not
+     literally any input). *)
+
+open Rdma_sim
+open Rdma_mem
+open Rdma_mm
+open Rdma_obs
+open Rdma_consensus
+open Rdma_reg
+
+(* ---------------- SWMR replication under memory rejoin ------------- *)
+
+let swmr_region = "swmr"
+
+let swmr_reg = "x"
+
+let swmr_n = 2
+
+let swmr_m = 3
+
+(* Writer sweeps end well past the latest possible recovery under the
+   scenario budget (crash < horizon, recovery < 1.5*horizon + 2). *)
+let swmr_serve_until = 60.0
+
+let swmr_stale cluster mid =
+  match
+    Memory.stale_registers (Cluster.memory cluster mid) ~region:swmr_region
+  with
+  | [] -> None
+  | regs -> Some (Printf.sprintf "stale: %s" (String.concat "," regs))
+
+let swmr_recovery ~seed ~inputs ~faults ~byzantine ~prepare =
+  assert (byzantine = []);
+  let n = swmr_n and m = swmr_m in
+  let cluster : string Cluster.t = Cluster.create ~seed ~n ~m () in
+  Cluster.add_region_everywhere cluster ~name:swmr_region
+    ~perm:(Permission.swmr ~writer:0 ~n)
+    ~registers:[ swmr_reg ];
+  let decisions : Report.decision option array = Array.make n None in
+  let decide (ctx : string Cluster.ctx) value =
+    let pid = ctx.Cluster.pid in
+    decisions.(pid) <-
+      Some { Report.value; at = Engine.now ctx.Cluster.ctx_engine };
+    Obs.event ctx.Cluster.ctx_obs
+      ~actor:(Printf.sprintf "p%d" pid)
+      (Event.Decide { pid; value })
+  in
+  (* p0, the sole writer: replicate the value, then keep sweeping
+     [read_repair] so a replica that rejoined empty gets the value
+     written back (and stamped fresh) once it is responding again. *)
+  Cluster.spawn cluster ~pid:0 (fun ctx ->
+      let h = Swmr.attach ~client:ctx.Cluster.client ~region:swmr_region in
+      let v = inputs.(0) in
+      ignore (Swmr.write h ~reg:swmr_reg v);
+      decide ctx v;
+      while Engine.now ctx.Cluster.ctx_engine < swmr_serve_until do
+        ignore (Swmr.read_repair h ~reg:swmr_reg);
+        Engine.sleep 5.0
+      done);
+  (* p1, a reader: decides the first value a quorum read returns.  The
+     loop is bounded so an (out-of-budget) unreadable run still
+     quiesces and lets the watchdog report the liveness miss. *)
+  Cluster.spawn cluster ~pid:1 (fun ctx ->
+      let h = Swmr.attach ~client:ctx.Cluster.client ~region:swmr_region in
+      let rec loop () =
+        match Swmr.read h ~reg:swmr_reg with
+        | Some v -> decide ctx v
+        | None ->
+            if Engine.now ctx.Cluster.ctx_engine < swmr_serve_until then begin
+              Engine.sleep 2.0;
+              loop ()
+            end
+      in
+      loop ());
+  prepare cluster;
+  Fault.apply cluster faults;
+  Cluster.run cluster;
+  Cluster.check_errors cluster;
+  Report.of_stats ~algorithm:"swmr-recovery" ~n ~m ~decisions
+    ~obs:(Cluster.obs cluster)
+    ~stats:(Cluster.stats cluster)
+    ~steps:(Engine.steps (Cluster.engine cluster))
+    ()
+
+(* --------- repeated Protected Paxos with checkpoints + repair ------ *)
+
+let pmp_n = 3
+
+let pmp_m = 3
+
+let pmp_cfg =
+  {
+    Protected_paxos_multi.default_config with
+    slots = 3;
+    checkpoint_every = 2;
+    serve_until = 60.0;
+  }
+
+let pmp_stale cluster mid =
+  match
+    Memory.stale_registers (Cluster.memory cluster mid)
+      ~region:Protected_paxos_multi.region
+  with
+  | [] -> None
+  | regs -> Some (Printf.sprintf "stale: %s" (String.concat "," regs))
+
+let pmp_multi_recovery ~seed ~inputs:_ ~faults ~byzantine ~prepare =
+  assert (byzantine = []);
+  let reports =
+    Protected_paxos_multi.run ~cfg:pmp_cfg ~seed ~faults ~prepare ~n:pmp_n
+      ~m:pmp_m
+      ~input_for:(fun ~pid ~instance -> Printf.sprintf "v%d.%d" pid instance)
+      ()
+  in
+  (* Collapse the per-instance reports into one: a process "decides" the
+     joined sequence iff it decided every instance, mirroring the Decide
+     event the program emits — so the oracle checks agreement (and
+     liveness) over the whole log. *)
+  let decisions =
+    Array.init pmp_n (fun pid ->
+        let per =
+          Array.map (fun (r : Report.t) -> r.Report.decisions.(pid)) reports
+        in
+        if Array.for_all Option.is_some per then
+          let ds = Array.to_list per |> List.map Option.get in
+          Some
+            {
+              Report.value = Codec.join (List.map (fun d -> d.Report.value) ds);
+              at = List.fold_left (fun acc d -> Float.max acc d.Report.at) 0.0 ds;
+            }
+        else None)
+  in
+  {
+    (reports.(Array.length reports - 1)) with
+    Report.algorithm = "pmp-multi-recovery";
+    decisions;
+  }

@@ -1,0 +1,38 @@
+(** Recovery chaos workloads: scenario executors exercising the
+    crash → recover → repair cycle (SWMR read-repair; repeated Protected
+    Paxos with checkpoints and state-transfer), plus their repair
+    predicates for the oracle. *)
+
+open Rdma_mm
+open Rdma_consensus
+
+val swmr_n : int
+
+val swmr_m : int
+
+(** [Some detail] iff memory [mid] still has stale SWMR registers. *)
+val swmr_stale : string Cluster.t -> int -> string option
+
+val swmr_recovery :
+  seed:int ->
+  inputs:string array ->
+  faults:Fault.t list ->
+  byzantine:(int * (string Cluster.ctx -> unit)) list ->
+  prepare:(string Cluster.t -> unit) ->
+  Report.t
+
+val pmp_n : int
+
+val pmp_m : int
+
+(** [Some detail] iff memory [mid] still has stale Protected-Paxos
+    registers. *)
+val pmp_stale : string Cluster.t -> int -> string option
+
+val pmp_multi_recovery :
+  seed:int ->
+  inputs:string array ->
+  faults:Fault.t list ->
+  byzantine:(int * (string Cluster.ctx -> unit)) list ->
+  prepare:(string Cluster.t -> unit) ->
+  Report.t

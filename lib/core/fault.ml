@@ -24,6 +24,14 @@ type t =
   | Partition of { pairs : (int * int) list; at : float }
       (* sever the ordered pairs at [at]; messages buffer until Heal *)
   | Heal of { at : float }
+  | Recover_memory of { mid : int; at : float }
+      (* bring a crashed memory back EMPTY under a fresh epoch (the
+         rejoin protocol re-establishes its permissions); a benign no-op
+         when the memory is not crashed at [at], so shrunk schedules that
+         dropped the paired crash stay valid *)
+  | Restart_machine of { pid : int; mid : int; at : float }
+      (* restart a full machine: the memory rejoins empty and the process
+         re-runs its program from the top *)
 
 (* Every fault names its targets before the run starts, so a target
    outside the cluster is a schedule bug, not a benign no-op: a typo'd
@@ -42,8 +50,8 @@ let validate cluster fault =
   in
   match fault with
   | Crash_process { pid; _ } | Set_leader { pid; _ } -> check_pid pid
-  | Crash_memory { mid; _ } -> check_mid mid
-  | Crash_machine { pid; mid; _ } ->
+  | Crash_memory { mid; _ } | Recover_memory { mid; _ } -> check_mid mid
+  | Crash_machine { pid; mid; _ } | Restart_machine { pid; mid; _ } ->
       check_pid pid;
       check_mid mid
   | Partition { pairs; _ } ->
@@ -77,7 +85,10 @@ let apply cluster faults =
           Cluster.crash_memory_at cluster ~at mid
       | Partition { pairs; at } ->
           at_time at (fun () -> Network.partition (Cluster.net cluster) pairs)
-      | Heal { at } -> at_time at (fun () -> Network.heal (Cluster.net cluster)))
+      | Heal { at } -> at_time at (fun () -> Network.heal (Cluster.net cluster))
+      | Recover_memory { mid; at } -> Cluster.restart_memory_at cluster ~at mid
+      | Restart_machine { pid; mid; at } ->
+          Cluster.restart_machine_at cluster ~at ~pid ~mid)
     faults
 
 let pp ppf = function
@@ -92,3 +103,6 @@ let pp ppf = function
         Fmt.(list ~sep:(any ",") (fun ppf (s, d) -> Fmt.pf ppf "%d>%d" s d))
         pairs at
   | Heal { at } -> Fmt.pf ppf "heal@%.1f" at
+  | Recover_memory { mid; at } -> Fmt.pf ppf "recover mu%d@%.1f" mid at
+  | Restart_machine { pid; mid; at } ->
+      Fmt.pf ppf "restart machine(p%d,mu%d)@%.1f" pid mid at

@@ -19,6 +19,13 @@ type t =
           links are buffered (links are no-loss), never dropped *)
   | Heal of { at : float }
       (** clear all severed pairs at [at] and flush buffered messages *)
+  | Recover_memory of { mid : int; at : float }
+      (** bring a crashed memory back EMPTY under a fresh epoch (the
+          rejoin protocol re-establishes permissions before it serves);
+          a benign no-op when the memory is not crashed at [at] *)
+  | Restart_machine of { pid : int; mid : int; at : float }
+      (** restart a full machine: the memory rejoins empty and the
+          process re-runs its program from the top *)
 
 (** Schedule the faults on the cluster.  Raises [Invalid_argument] if a
     fault targets a pid or mid outside the cluster — a typo'd target

@@ -12,12 +12,28 @@ val region : string
 
 val slot_reg : instance:int -> int -> string
 
+(** The checkpoint register: the decided values of a prefix of instances,
+    written quorum-acked only after they decided; the covered slots are
+    then truncated.  A takeover (or a repair) installs the checkpoint
+    instead of replaying the slots. *)
+val ckpt_reg : string
+
+val encode_ckpt : values:string list -> string
+
+val decode_ckpt : string -> string list option
+
 val legal_change : Permission.legal_change
 
 type config = {
   slots : int;
   f_m : int option;
   max_takeovers : int;
+  checkpoint_every : int;
+      (** checkpoint (and truncate the slots below) every this many
+          decided instances; [0] disables checkpointing *)
+  serve_until : float;
+      (** keep a custodian fiber alive until this virtual time to repair
+          memories that rejoin after the decisions are done; [0.] disables *)
 }
 
 val default_config : config

@@ -26,6 +26,10 @@ type 'm t = {
   sub_fibers : Engine.fiber list array;
   crashed : bool array;
   byzantine : bool array;
+  (* the program each pid was spawned with, for machine restarts: a
+     restarted process re-runs its program from the top — no state
+     survives except what the program itself recovers from the memories *)
+  programs : (int -> unit) option array;
   mutable auto_leader : bool;
       (* on leader crash, Ω repoints to the lowest-id correct process
          after [detection_delay] *)
@@ -106,6 +110,7 @@ let create ?(seed = 1) ?(max_steps = 20_000_000) ?(latency = 1.0)
       sub_fibers = Array.make n [];
       crashed = Array.make n false;
       byzantine = Array.make n false;
+      programs = Array.make n None;
       auto_leader = true;
       detection_delay = 8.0;
     }
@@ -199,6 +204,9 @@ let ctx t pid =
 
 let spawn t ~pid program =
   if t.fibers.(pid) <> None then invalid_arg "Cluster.spawn: pid already running";
+  (* Every (re)start builds a fresh ctx: a restarted process holds no
+     pre-crash capability state. *)
+  t.programs.(pid) <- Some (fun pid -> program (ctx t pid));
   let c = ctx t pid in
   let fiber = Engine.spawn t.engine (Printf.sprintf "p%d" pid) (fun () -> program c) in
   t.fibers.(pid) <- Some fiber
@@ -249,6 +257,53 @@ let crash_memory t mid =
 let crash_memory_at t ~at mid =
   Engine.schedule t.engine (max 0. (at -. Engine.now t.engine)) (fun () ->
       crash_memory t mid)
+
+(* Bring a crashed memory back, empty, under a fresh epoch (see
+   [Memory.restart]).  A benign no-op when the memory is not crashed, so
+   a shrunk fault schedule that dropped the paired crash stays valid. *)
+let restart_memory ?rejoin t mid =
+  if Memory.is_crashed t.memories.(mid) then begin
+    Memory.restart ?rejoin t.memories.(mid);
+    Trace.recordf t.trace ~at:(Engine.now t.engine)
+      ~actor:(Printf.sprintf "mu%d" mid)
+      "MEMORY RESTART (epoch %d)"
+      (Memory.epoch t.memories.(mid))
+  end
+
+let restart_memory_at ?rejoin t ~at mid =
+  Engine.schedule t.engine (max 0. (at -. Engine.now t.engine)) (fun () ->
+      restart_memory ?rejoin t mid)
+
+(* Restart a crashed process: re-run the program it was spawned with,
+   from the top, with a fresh ctx.  Only state the program explicitly
+   recovers (from the memories or its spawn-time closure) survives.  A
+   no-op when the process is not crashed or was never spawned. *)
+let restart_process t pid =
+  match t.programs.(pid) with
+  | Some program when t.crashed.(pid) ->
+      t.crashed.(pid) <- false;
+      t.sub_fibers.(pid) <- [];
+      let fiber =
+        Engine.spawn t.engine (Printf.sprintf "p%d" pid) (fun () -> program pid)
+      in
+      t.fibers.(pid) <- Some fiber;
+      Trace.recordf t.trace ~at:(Engine.now t.engine)
+        ~actor:(Printf.sprintf "p%d" pid) "RESTART"
+  | _ -> ()
+
+let restart_process_at t ~at pid =
+  Engine.schedule t.engine (max 0. (at -. Engine.now t.engine)) (fun () ->
+      restart_process t pid)
+
+(* A machine hosts one process and one memory (the M&M pairing used by
+   Fault.Crash_machine): restart both. *)
+let restart_machine ?rejoin t ~pid ~mid =
+  restart_memory ?rejoin t mid;
+  restart_process t pid
+
+let restart_machine_at ?rejoin t ~at ~pid ~mid =
+  Engine.schedule t.engine (max 0. (at -. Engine.now t.engine)) (fun () ->
+      restart_machine ?rejoin t ~pid ~mid)
 
 let run t = Engine.run t.engine
 

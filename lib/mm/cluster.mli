@@ -113,6 +113,31 @@ val crash_memory : 'm t -> int -> unit
 
 val crash_memory_at : 'm t -> at:float -> int -> unit
 
+(** Bring a crashed memory back empty under a fresh epoch (see
+    [Memory.restart]; [rejoin] defaults to [`Genesis]).  A benign no-op
+    when the memory is not crashed, so shrunk fault schedules that
+    dropped the paired crash stay valid. *)
+val restart_memory : ?rejoin:[ `Genesis | `Quarantine ] -> 'm t -> int -> unit
+
+val restart_memory_at :
+  ?rejoin:[ `Genesis | `Quarantine ] -> 'm t -> at:float -> int -> unit
+
+(** Restart a crashed process: re-run the program it was spawned with
+    from the top, with a fresh capability bundle.  Only state the
+    program explicitly recovers survives.  No-op when the process is not
+    crashed or was never spawned. *)
+val restart_process : 'm t -> int -> unit
+
+val restart_process_at : 'm t -> at:float -> int -> unit
+
+(** Restart the machine hosting process [pid] and memory [mid]: both come
+    back with nothing but what they recover. *)
+val restart_machine :
+  ?rejoin:[ `Genesis | `Quarantine ] -> 'm t -> pid:int -> mid:int -> unit
+
+val restart_machine_at :
+  ?rejoin:[ `Genesis | `Quarantine ] -> 'm t -> at:float -> pid:int -> mid:int -> unit
+
 (** Run the engine to quiescence. *)
 val run : 'm t -> unit
 

@@ -19,7 +19,15 @@ type t =
       value : string;
       ok : bool;
     }
+  | Mem_write_many of {
+      pid : int;
+      mid : int;
+      region : string;
+      count : int;
+      ok : bool;
+    }
   | Mem_perm of { pid : int; mid : int; region : string; applied : bool }
+  | Mem_restart of { mid : int; epoch : int }
   | Verbs_mr of { mid : int; region : string; op : string }
   | Sign of { pid : int }
   | Verify of { ok : bool }
@@ -35,7 +43,9 @@ let name = function
   | Mem_read _ -> "mem.read"
   | Mem_read_many _ -> "mem.read_many"
   | Mem_write _ -> "mem.write"
+  | Mem_write_many _ -> "mem.write_many"
   | Mem_perm _ -> "mem.perm"
+  | Mem_restart _ -> "mem.restart"
   | Verbs_mr _ -> "verbs.mr"
   | Sign _ -> "crypto.sign"
   | Verify _ -> "crypto.verify"
@@ -47,7 +57,9 @@ let name = function
 
 let cat = function
   | Net_send _ | Net_deliver _ -> "net"
-  | Mem_read _ | Mem_read_many _ | Mem_write _ | Mem_perm _ -> "mem"
+  | Mem_read _ | Mem_read_many _ | Mem_write _ | Mem_write_many _ | Mem_perm _
+  | Mem_restart _ ->
+      "mem"
   | Verbs_mr _ -> "verbs"
   | Sign _ | Verify _ -> "crypto"
   | Fiber_spawn _ | Fiber_cancel _ | Deadlock _ -> "sim"
@@ -65,7 +77,8 @@ let fields = function
         ("reg", Json.String reg);
         ("ok", Json.Bool ok);
       ]
-  | Mem_read_many { pid; mid; region; count; ok } ->
+  | Mem_read_many { pid; mid; region; count; ok }
+  | Mem_write_many { pid; mid; region; count; ok } ->
       [
         ("pid", Json.Int pid);
         ("mid", Json.Int mid);
@@ -89,6 +102,8 @@ let fields = function
         ("region", Json.String region);
         ("applied", Json.Bool applied);
       ]
+  | Mem_restart { mid; epoch } ->
+      [ ("mid", Json.Int mid); ("epoch", Json.Int epoch) ]
   | Verbs_mr { mid; region; op } ->
       [
         ("mid", Json.Int mid);

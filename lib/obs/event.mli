@@ -15,7 +15,15 @@ type t =
       value : string;
       ok : bool;
     }
+  | Mem_write_many of {
+      pid : int;
+      mid : int;
+      region : string;
+      count : int;
+      ok : bool;
+    }
   | Mem_perm of { pid : int; mid : int; region : string; applied : bool }
+  | Mem_restart of { mid : int; epoch : int }
   | Verbs_mr of { mid : int; region : string; op : string }
   | Sign of { pid : int }
   | Verify of { ok : bool }

@@ -10,6 +10,9 @@ val create : pid:int -> memories:Memory.t array -> t
 
 val pid : t -> int
 
+(** The shared telemetry collector ([None] when there are no memories). *)
+val obs : t -> Rdma_obs.Obs.t option
+
 val memory_count : t -> int
 
 val mem : t -> int -> Memory.t
@@ -48,3 +51,56 @@ val read_quorum :
 
 val change_permission_quorum :
   ?k:int -> t -> region:string -> perm:Permission.t -> (int * Memory.op_result) list
+
+(** {2 State transfer} *)
+
+(** Blocking batched write of several registers of one region to a single
+    memory ([None] stores ⊥) — the snapshot-installation primitive. *)
+val write_many :
+  t ->
+  mem:int ->
+  region:string ->
+  values:(string * string option) list ->
+  Memory.op_result
+
+(** {2 Bounded-time quorum operations}
+
+    The plain quorum ops hang forever when a majority of memories is
+    down (the paper's semantics).  These variants bound the wait with a
+    virtual-time [deadline] (default 64 delays): each attempt re-issues
+    the operation to every memory and waits one exponentially growing
+    backoff window (initial [backoff], default 4 delays, doubling per
+    attempt, clamped to the remaining deadline), then returns a typed
+    [Timeout] once the deadline is spent.  Per-operation [.retries] and
+    [.timeouts] counters flow through the telemetry counters (metrics
+    export) and the substrate stats ([Report.t] named counters). *)
+
+type 'a timed = Done of 'a | Timeout of { attempts : int; waited : float }
+
+val write_quorum_timed :
+  ?k:int ->
+  ?deadline:float ->
+  ?backoff:float ->
+  t ->
+  region:string ->
+  reg:string ->
+  string ->
+  Memory.op_result timed
+
+val read_quorum_timed :
+  ?k:int ->
+  ?deadline:float ->
+  ?backoff:float ->
+  t ->
+  region:string ->
+  reg:string ->
+  (int * Memory.read_result) list timed
+
+val change_permission_quorum_timed :
+  ?k:int ->
+  ?deadline:float ->
+  ?backoff:float ->
+  t ->
+  region:string ->
+  perm:Permission.t ->
+  (int * Memory.op_result) list timed

@@ -8,7 +8,30 @@
    arrives at the memory at t + one_way (permission check + state change
    happen atomically there) and its response reaches the caller at
    t + 2 * one_way.  A crashed memory never responds: the result ivar is
-   simply never filled. *)
+   simply never filled.
+
+   Crash–recovery extends the paper's crash-stop memories: [restart]
+   brings a crashed memory back *empty*, under a fresh epoch.  Nothing
+   stored before the crash survives — register contents and the
+   permission state granted through legalChange are both lost.  Epoch
+   stamps enforce the two safety obligations of rejoin:
+
+   - Region permissions carry the epoch at which they were granted.  A
+     grant from a previous epoch is dead: every operation naks until the
+     region's permission is re-established *at the current epoch* —
+     either through [change_permission_async] (which shows legalChange a
+     [Permission.none] current state, because the pre-crash grant is
+     forgotten) or through the trusted-kernel [force_permission] path.
+     A recovering memory can therefore never honour a stale grant.
+
+   - Registers carry the epoch at which they were last written.  A
+     register whose stamp predates the current epoch is *unrepaired*:
+     reads (single or batched) nak on it, while fresh-epoch writes both
+     store the value and repair the register.  An amnesiac replica thus
+     answers "I don't know" instead of a silently-empty ⊥, so quorum
+     readers can never mistake lost state for genuinely-unwritten state;
+     repair is exactly "write the register back" (read-repair, snapshot
+     installation), after which reads serve again. *)
 
 open Rdma_sim
 open Rdma_obs
@@ -21,6 +44,11 @@ type region = {
   region_name : string;
   registers : (string, unit) Hashtbl.t;
   mutable perm : Permission.t;
+  (* the permission the region was created with; the kernel restores it
+     on a [`Genesis] rejoin, as a NIC driver re-registers configured
+     memory regions on reboot *)
+  genesis : Permission.t;
+  mutable granted_epoch : int;
 }
 
 type t = {
@@ -32,8 +60,10 @@ type t = {
   legal_change : Permission.legal_change;
   one_way : float;
   mutable crashed : bool;
+  mutable epoch : int;
   regions : (string, region) Hashtbl.t;
-  store : (string, string option) Hashtbl.t;
+  (* register -> (epoch of last write, value) *)
+  store : (string, int * string option) Hashtbl.t;
   (* register -> owning region; enforces "a register belongs to exactly
      one region" (our algorithms' convention, Section 3) *)
   owner : (string, string) Hashtbl.t;
@@ -50,6 +80,7 @@ let create ?(one_way = 1.0) ?(legal_change = Permission.static_permissions)
     legal_change;
     one_way;
     crashed = false;
+    epoch = 0;
     regions = Hashtbl.create 64;
     store = Hashtbl.create 256;
     owner = Hashtbl.create 256;
@@ -58,6 +89,8 @@ let create ?(one_way = 1.0) ?(legal_change = Permission.static_permissions)
 let id t = t.mid
 
 let obs t = t.obs
+
+let stats t = t.stats
 
 (* Typed telemetry event on this memory's track, recorded as the
    operation *arrives* at the memory (one one-way delay after issue) —
@@ -68,11 +101,19 @@ let crash t = t.crashed <- true
 
 let is_crashed t = t.crashed
 
+let epoch t = t.epoch
+
 let add_region t ~name ~perm ~registers =
   if Hashtbl.mem t.regions name then
     invalid_arg (Printf.sprintf "Memory.add_region: duplicate region %s" name);
   let region =
-    { region_name = name; registers = Hashtbl.create (max 1 (List.length registers)); perm }
+    {
+      region_name = name;
+      registers = Hashtbl.create (max 1 (List.length registers));
+      perm;
+      genesis = perm;
+      granted_epoch = t.epoch;
+    }
   in
   List.iter
     (fun r ->
@@ -82,18 +123,44 @@ let add_region t ~name ~perm ~registers =
              (Hashtbl.find t.owner r));
       Hashtbl.add t.owner r name;
       Hashtbl.add region.registers r ();
-      Hashtbl.add t.store r None)
+      Hashtbl.add t.store r (t.epoch, None))
     registers;
   Hashtbl.add t.regions name region
 
 (* Direct (zero-delay) inspection — for tests and trace printing only;
    simulated processes must go through the timed operations below. *)
-let peek_register t reg = Option.join (Hashtbl.find_opt t.store reg)
+let peek_register t reg =
+  match Hashtbl.find_opt t.store reg with
+  | Some (_, v) -> v
+  | None -> None
+
+(* A register is fresh when its last write happened in the current
+   epoch; stale registers are lost state awaiting repair. *)
+let register_fresh t reg =
+  match Hashtbl.find_opt t.store reg with
+  | Some (stamp, _) -> stamp = t.epoch
+  | None -> false
+
+let stale_registers t ~region =
+  match Hashtbl.find_opt t.regions region with
+  | None -> []
+  | Some r ->
+      Hashtbl.fold
+        (fun reg () acc -> if register_fresh t reg then acc else reg :: acc)
+        r.registers []
+      |> List.sort compare
 
 let region_perm t name =
   match Hashtbl.find_opt t.regions name with
   | Some r -> Some r.perm
   | None -> None
+
+(* Whether the region's permission was granted in the current epoch —
+   i.e. the region serves operations rather than nak-ing as rejoining. *)
+let region_serving t name =
+  match Hashtbl.find_opt t.regions name with
+  | Some r -> r.granted_epoch = t.epoch
+  | None -> false
 
 let region_names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.regions [] |> List.sort compare
@@ -101,25 +168,58 @@ let region_names t =
 (* Kernel-side permission override, bypassing legalChange.  Section 7
    places permission management in the (trusted) OS kernel: the Verbs
    facade is that kernel, so it may install any permission; untrusted
-   process programs can still only go through changePermission. *)
+   process programs can still only go through changePermission.  A
+   kernel grant is always at the current epoch. *)
 let force_permission t ~region ~perm =
   match Hashtbl.find_opt t.regions region with
-  | Some r -> r.perm <- perm
+  | Some r ->
+      r.perm <- perm;
+      r.granted_epoch <- t.epoch
   | None -> invalid_arg "Memory.force_permission: no such region"
+
+(* Restart a crashed memory under a fresh epoch: register contents and
+   legalChange-granted permission state are lost.  [`Genesis] rejoin
+   has the kernel restore each region's creation-time permission (the
+   NIC driver re-registering configured regions on reboot); under
+   [`Quarantine] every region stays fenced until someone re-establishes
+   its permission via changePermission or the kernel.  Either way all
+   registers come back stale: reads nak until a current-epoch write
+   repairs them. *)
+let restart ?(rejoin = `Genesis) t =
+  if not t.crashed then invalid_arg "Memory.restart: memory is not crashed";
+  t.crashed <- false;
+  t.epoch <- t.epoch + 1;
+  Hashtbl.iter
+    (fun reg (stamp, _) -> Hashtbl.replace t.store reg (stamp, None))
+    t.store;
+  (match rejoin with
+  | `Genesis ->
+      Hashtbl.iter
+        (fun _ r ->
+          r.perm <- r.genesis;
+          r.granted_epoch <- t.epoch)
+        t.regions
+  | `Quarantine -> ());
+  Stats.bump t.stats "mem.restarts";
+  emit t (Event.Mem_restart { mid = t.mid; epoch = t.epoch })
 
 (* Issue [apply] as a timed memory operation.  [apply] runs at the memory
    (one-way later); its result is delivered another one-way later.  Either
-   leg is dropped if the memory is crashed at that moment.  The whole
-   round trip is one span on the memory's track; an operation swallowed
-   by a crash leaves its span unfinished, which the exporters flag. *)
+   leg is dropped if the memory is crashed — or has been restarted into a
+   later epoch — at that moment, so operations in flight across a crash
+   can never resurrect after a restart.  The whole round trip is one span
+   on the memory's track; an operation swallowed by a crash leaves its
+   span unfinished, which the exporters flag. *)
 let operation t ~span_name apply =
   let result = Ivar.create () in
+  let issue_epoch = t.epoch in
+  let live () = (not t.crashed) && t.epoch = issue_epoch in
   let sp = Obs.span t.obs ~actor:t.actor ~cat:"mem" span_name in
   Engine.schedule t.engine t.one_way (fun () ->
-      if not t.crashed then begin
+      if live () then begin
         let r = apply () in
         Engine.schedule t.engine t.one_way (fun () ->
-            if not t.crashed then begin
+            if live () then begin
               Obs.finish t.obs sp;
               Ivar.fill result r
             end)
@@ -131,6 +231,9 @@ let lookup_region t name =
   | Some region -> Some region
   | None -> None
 
+(* A region accepts operations only under a current-epoch grant. *)
+let serving r ~epoch = r.granted_epoch = epoch
+
 let write_async t ~from ~region ~reg value =
   Stats.incr_writes t.stats;
   operation t ~span_name:"mem.write" (fun () ->
@@ -138,9 +241,11 @@ let write_async t ~from ~region ~reg value =
         match lookup_region t region with
         | None -> false
         | Some r ->
-            Hashtbl.mem r.registers reg && Permission.can_write r.perm from
+            serving r ~epoch:t.epoch
+            && Hashtbl.mem r.registers reg
+            && Permission.can_write r.perm from
       in
-      if ok then Hashtbl.replace t.store reg (Some value);
+      if ok then Hashtbl.replace t.store reg (t.epoch, Some value);
       emit t (Event.Mem_write { pid = from; mid = t.mid; region; reg; value; ok });
       if ok then Ack else Nak)
 
@@ -150,15 +255,20 @@ let read_async t ~from ~region ~reg =
       let ok =
         match lookup_region t region with
         | None -> false
-        | Some r -> Hashtbl.mem r.registers reg && Permission.can_read r.perm from
+        | Some r ->
+            serving r ~epoch:t.epoch
+            && Hashtbl.mem r.registers reg
+            && Permission.can_read r.perm from
+            && register_fresh t reg
       in
       emit t (Event.Mem_read { pid = from; mid = t.mid; region; reg; ok });
-      if ok then Read (Option.join (Hashtbl.find_opt t.store reg)) else Read_nak)
+      if ok then Read (peek_register t reg) else Read_nak)
 
 (* Batched read of several registers of one region in a single operation —
    an RDMA read of a contiguous slot array (Section 7).  Results are in
    request order; the whole batch naks if any register is outside the
-   region or the caller lacks read permission. *)
+   region, the caller lacks read permission, or any register is stale
+   (lost in a restart and not yet repaired). *)
 type read_many_result = Read_many of string option array | Read_many_nak
 
 let read_many_async t ~from ~region ~regs =
@@ -168,21 +278,53 @@ let read_many_async t ~from ~region ~regs =
         match lookup_region t region with
         | None -> false
         | Some r ->
-            Permission.can_read r.perm from
-            && List.for_all (fun reg -> Hashtbl.mem r.registers reg) regs
+            serving r ~epoch:t.epoch
+            && Permission.can_read r.perm from
+            && List.for_all
+                 (fun reg ->
+                   Hashtbl.mem r.registers reg && register_fresh t reg)
+                 regs
       in
       emit t
         (Event.Mem_read_many
            { pid = from; mid = t.mid; region; count = List.length regs; ok });
       if ok then
-        Read_many
-          (Array.of_list
-             (List.map (fun reg -> Option.join (Hashtbl.find_opt t.store reg)) regs))
+        Read_many (Array.of_list (List.map (fun reg -> peek_register t reg) regs))
       else Read_many_nak)
+
+(* Batched write of several registers of one region in a single operation
+   — the write-side sibling of [read_many_async], an RDMA write of a
+   contiguous array.  [None] stores ⊥ (a write of zeroes).  Every named
+   register is stamped with the current epoch, which is what makes this
+   the state-transfer primitive: installing a snapshot repairs the whole
+   region in one two-delay operation. *)
+let write_many_async t ~from ~region ~values =
+  Stats.incr_writes t.stats;
+  operation t ~span_name:"mem.write_many" (fun () ->
+      let ok =
+        match lookup_region t region with
+        | None -> false
+        | Some r ->
+            serving r ~epoch:t.epoch
+            && Permission.can_write r.perm from
+            && List.for_all (fun (reg, _) -> Hashtbl.mem r.registers reg) values
+      in
+      if ok then
+        List.iter
+          (fun (reg, v) -> Hashtbl.replace t.store reg (t.epoch, v))
+          values;
+      emit t
+        (Event.Mem_write_many
+           { pid = from; mid = t.mid; region; count = List.length values; ok });
+      if ok then Ack else Nak)
 
 (* changePermission (Section 3): the memory evaluates legalChange on
    arrival; an illegal request silently becomes a no-op (the paper's
-   semantics), but we report whether it was applied for observability. *)
+   semantics), but we report whether it was applied for observability.
+   After a restart the pre-crash grant is forgotten, so legalChange is
+   shown [Permission.none] as the current state — the rejoin protocol:
+   whatever the policy allows from nothing is what a recovering memory
+   may grant, and nothing else. *)
 let change_permission_async t ~from ~region ~perm =
   Stats.incr_perm_changes t.stats;
   operation t ~span_name:"mem.perm" (fun () ->
@@ -190,9 +332,13 @@ let change_permission_async t ~from ~region ~perm =
         match lookup_region t region with
         | None -> false
         | Some r ->
-            if t.legal_change ~pid:from ~region ~current:r.perm ~requested:perm
+            let current =
+              if serving r ~epoch:t.epoch then r.perm else Permission.none
+            in
+            if t.legal_change ~pid:from ~region ~current ~requested:perm
             then begin
               r.perm <- perm;
+              r.granted_epoch <- t.epoch;
               true
             end
             else false

@@ -63,6 +63,54 @@ let read_detailed t ~reg =
   in
   (value, naks)
 
+(* Quorum read with write-back repair.  When the responding majority
+   agrees on exactly one value v, any responding replica that did *not*
+   confirm v — it returned ⊥, a divergent value, or nak'd (typically a
+   restarted memory whose register is stale) — gets v written back, and
+   the repair writes are awaited so a completed call really has restored
+   full replication among the live replicas.
+
+   Repair is deliberately *not* folded into [read]: the paper's
+   non-equivocating broadcast (Algorithm 2) depends on divergent replicas
+   staying observable — a reader that "repaired" an equivocating writer's
+   replicas would destroy the evidence.  Callers opt in where lost
+   replicas are the expected cause of divergence (crash-model recovery),
+   and the writes carry the caller's pid, so repair is only possible
+   where the caller holds write permission. *)
+let read_repair t ~reg =
+  let responses = Memclient.read_quorum t.client ~region:t.region ~reg in
+  let values =
+    List.filter_map
+      (fun (_, r) -> match r with Memory.Read v -> v | Memory.Read_nak -> None)
+      responses
+  in
+  match List.sort_uniq String.compare values with
+  | [ v ] ->
+      let stale =
+        List.filter
+          (fun (_, r) ->
+            match r with
+            | Memory.Read (Some v') -> v' <> v
+            | Memory.Read None | Memory.Read_nak -> true)
+          responses
+      in
+      let repairs =
+        List.map
+          (fun (i, _) ->
+            Memory.write_async
+              (Memclient.mem t.client i)
+              ~from:(Memclient.pid t.client) ~region:t.region ~reg v)
+          stale
+      in
+      if repairs <> [] then begin
+        ignore (Rdma_sim.Par.await_all (Array.of_list repairs));
+        match Memclient.obs t.client with
+        | Some obs -> Rdma_obs.Obs.count obs "swmr.repairs" (List.length repairs)
+        | None -> ()
+      end;
+      Some v
+  | _ -> None
+
 (* Change the permission of the region on every memory, majority-waited. *)
 let change_permission t ~perm =
   ignore (Memclient.change_permission_quorum t.client ~region:t.region ~perm)

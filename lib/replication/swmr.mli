@@ -21,5 +21,15 @@ val read : handle -> reg:string -> string option
 (** Like {!read} but also reports whether any replica nak'd the read. *)
 val read_detailed : handle -> reg:string -> string option * bool
 
+(** Quorum read with write-back repair: when the responding majority
+    agrees on one value v, every responding replica that returned ⊥, a
+    divergent value, or a nak (e.g. a restarted memory whose register is
+    stale) gets v written back, awaited, before v is returned.  Opt-in —
+    [read] never repairs, because non-equivocating broadcast relies on
+    divergent replicas staying observable.  Requires the caller to hold
+    write permission on the region; repairs are counted on the
+    ["swmr.repairs"] telemetry counter. *)
+val read_repair : handle -> reg:string -> string option
+
 (** Change the region's permission on every memory (majority-waited). *)
 val change_permission : handle -> perm:Permission.t -> unit

@@ -15,6 +15,11 @@ val is_full : 'a t -> bool
 
 val peek : 'a t -> 'a option
 
+(** Number of callbacks currently registered and waiting for the fill
+    (0 once full).  Exposed so tests can assert that abandoned quorum
+    waits deregister instead of leaking. *)
+val waiter_count : 'a t -> int
+
 (** Fill the ivar and wake all waiters.  Raises [Invalid_argument] if
     already full. *)
 val fill : 'a t -> 'a -> unit
@@ -26,9 +31,13 @@ val try_fill : 'a t -> 'a -> bool
     full). *)
 val on_fill : 'a t -> ('a -> unit) -> unit
 
+(** Like {!on_fill}, but returns a cancel function that deregisters the
+    callback.  Cancelling after the fill (or twice) is a no-op. *)
+val on_fill_cancellable : 'a t -> ('a -> unit) -> unit -> unit
+
 (** Block the current fiber until the ivar is filled. *)
 val await : 'a t -> 'a
 
 (** [await_timeout t d] blocks for at most [d] virtual time units; [None]
-    on timeout. *)
+    on timeout.  The internal waiter is deregistered on timeout. *)
 val await_timeout : 'a t -> float -> 'a option

@@ -2,7 +2,13 @@
 
    The paper's algorithms repeatedly issue an operation to every memory in
    parallel and continue once m - f_M of them complete ("wait for
-   completion of m - fM iterations of pfor loop", Algorithm 7). *)
+   completion of m - fM iterations of pfor loop", Algorithm 7).
+
+   Once a k-of-n wait settles (quorum reached, or timeout), every
+   callback it registered on the still-unfilled ivars is deregistered:
+   a memory that responds after the quorum is met finds no waiter and
+   the late response is dropped, rather than queueing a dead closure on
+   an ivar that may never fill (e.g. one owned by a crashed memory). *)
 
 (* [await_k ivars k] blocks until at least [k] of [ivars] are filled, then
    returns the filled (index, value) pairs observed at that instant, in
@@ -22,20 +28,26 @@ let await_k ivars k =
   else begin
     Engine.suspend (fun _eng _fiber resume ->
         let count = ref filled and settled = ref false in
+        let cancels = ref [] in
+        let settle () =
+          settled := true;
+          List.iter (fun cancel -> cancel ()) !cancels;
+          cancels := [];
+          resume ()
+        in
         Array.iter
           (fun iv ->
             if not (Ivar.is_full iv) then
-              Ivar.on_fill iv (fun _ ->
-                  incr count;
-                  if (not !settled) && !count >= k then begin
-                    settled := true;
-                    resume ()
-                  end))
+              let cancel =
+                Ivar.on_fill_cancellable iv (fun _ ->
+                    if not !settled then begin
+                      incr count;
+                      if !count >= k then settle ()
+                    end)
+              in
+              cancels := cancel :: !cancels)
           ivars;
-        if (not !settled) && !count >= k then begin
-          settled := true;
-          resume ()
-        end);
+        if (not !settled) && !count >= k then settle ());
     snapshot ()
   end
 
@@ -58,18 +70,26 @@ let await_k_timeout ivars k delay =
   else begin
     Engine.suspend (fun eng _fiber resume ->
         let count = ref filled and settled = ref false in
+        let cancels = ref [] in
         let finish () =
           if not !settled then begin
             settled := true;
+            List.iter (fun cancel -> cancel ()) !cancels;
+            cancels := [];
             resume ()
           end
         in
         Array.iter
           (fun iv ->
             if not (Ivar.is_full iv) then
-              Ivar.on_fill iv (fun _ ->
-                  incr count;
-                  if !count >= k then finish ()))
+              let cancel =
+                Ivar.on_fill_cancellable iv (fun _ ->
+                    if not !settled then begin
+                      incr count;
+                      if !count >= k then finish ()
+                    end)
+              in
+              cancels := cancel :: !cancels)
           ivars;
         if !count >= k then finish ();
         Engine.schedule eng delay (fun () -> finish ()));

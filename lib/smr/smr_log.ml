@@ -23,11 +23,29 @@ open Rdma_sim
 open Rdma_mem
 open Rdma_net
 open Rdma_mm
+open Rdma_obs
 open Rdma_consensus
 
 let region = "smr"
 
 let entry_reg i = Printf.sprintf "e.%d" i
+
+(* The checkpoint register: a quorum-acked snapshot of the committed
+   prefix — [up_to] plus the stored entry strings 1..up_to.  Entries
+   below the checkpoint may be truncated from the log; any reader holding
+   the checkpoint needs none of them.  The register is only ever written
+   AFTER the entries it covers were committed (quorum-acked), so a value
+   read from ANY single replica covers only committed entries and
+   adopting the maximum seen is safe. *)
+let ckpt_reg = "ckpt"
+
+let encode_ckpt ~up_to ~entries = Codec.join (Codec.int_field up_to :: entries)
+
+let decode_ckpt s =
+  match Codec.split s with
+  | up :: entries ->
+      Option.map (fun up_to -> (up_to, entries)) (Codec.int_of_field up)
+  | [] -> None
 
 let encode_entry ~term ~cmd = Codec.join2 (Codec.int_field term) cmd
 
@@ -57,6 +75,8 @@ type msg =
   | Commit of { index : int; cmd : string }
   | Read_request of { client : int; seq : int }
   | Read_reply of { client : int; seq : int; up_to : int }
+  | Catch_up of { pid : int }
+  | Snapshot of { up_to : int; entries : string list }
 
 let encode_msg = function
   | Request { client; seq; cmd } ->
@@ -70,6 +90,9 @@ let encode_msg = function
   | Read_reply { client; seq; up_to } ->
       Codec.join [ "rdr"; Codec.int_field client; Codec.int_field seq;
         Codec.int_field up_to ]
+  | Catch_up { pid } -> Codec.join [ "cup"; Codec.int_field pid ]
+  | Snapshot { up_to; entries } ->
+      Codec.join ("snp" :: Codec.int_field up_to :: entries)
 
 let decode_msg s =
   match Codec.split s with
@@ -91,6 +114,9 @@ let decode_msg s =
       match (Codec.int_of_field c, Codec.int_of_field q, Codec.int_of_field u) with
       | Some client, Some seq, Some up_to -> Some (Read_reply { client; seq; up_to })
       | _ -> None)
+  | [ "cup"; p ] -> Option.map (fun pid -> Catch_up { pid }) (Codec.int_of_field p)
+  | "snp" :: u :: entries ->
+      Option.map (fun up_to -> Snapshot { up_to; entries }) (Codec.int_of_field u)
   | _ -> None
 
 type config = {
@@ -101,10 +127,14 @@ type config = {
   serve_until : float;
       (* virtual time at which replicas stop serving, so a simulation run
          quiesces; clients finish their workload well before *)
+  checkpoint_every : int;
+      (* write a checkpoint (and truncate the log below it) every this
+         many committed entries; 0 disables checkpointing *)
 }
 
 let default_config =
-  { replicas = 3; max_entries = 64; f_m = None; max_terms = 32; serve_until = 2000.0 }
+  { replicas = 3; max_entries = 64; f_m = None; max_terms = 32;
+    serve_until = 2000.0; checkpoint_every = 0 }
 
 (* Only replicas may take the log's exclusive write permission. *)
 let legal_change cfg : Permission.legal_change =
@@ -119,7 +149,9 @@ let setup_regions cluster cfg =
   let n = Cluster.n cluster in
   Cluster.add_region_everywhere cluster ~name:region
     ~perm:(Permission.exclusive_writer ~writer:0 ~n)
-    ~registers:(lease_reg :: List.init cfg.max_entries (fun i -> entry_reg (i + 1)))
+    ~registers:
+      (ckpt_reg :: lease_reg
+       :: List.init cfg.max_entries (fun i -> entry_reg (i + 1)))
 
 type replica = {
   pid : int;
@@ -128,9 +160,13 @@ type replica = {
   mutable applied_up_to : int;
   mutable current_term : int;
   mutable stopped : bool;
+  mutable caught_up : bool; (* a restarted replica has received a snapshot *)
+  mutable subscribed : bool; (* telemetry subscription installed once *)
   pending : (int * string) Mailbox.t; (* decoded Commit messages *)
   requests : (int * int * string) Mailbox.t; (* client, seq, cmd *)
   reads : (int * int) Mailbox.t; (* client, seq *)
+  rejoin : int Mailbox.t; (* restarted memories awaiting state transfer *)
+  catchups : int Mailbox.t; (* restarted replicas awaiting a snapshot *)
 }
 
 let applied_entries r =
@@ -152,6 +188,23 @@ let pump (ctx : _ Cluster.ctx) r =
     | Some (Request { client; seq; cmd }) -> Mailbox.send r.requests (client, seq, cmd)
     | Some (Commit { index; cmd }) -> Mailbox.send r.pending (index, cmd)
     | Some (Read_request { client; seq }) -> Mailbox.send r.reads (client, seq)
+    | Some (Catch_up { pid }) -> Mailbox.send r.catchups pid
+    | Some (Snapshot { up_to = _; entries }) ->
+        (* Install the leader's snapshot: apply the committed prefix we
+           are missing wholesale — no log replay. *)
+        r.caught_up <- true;
+        List.iteri
+          (fun i stored ->
+            let index = i + 1 in
+            if index > r.applied_up_to then begin
+              let cmd =
+                match decode_cmd_meta stored with
+                | Some (_, _, cmd) -> cmd
+                | None -> stored
+              in
+              apply_entry r ~index ~cmd
+            end)
+          entries
     | Some (Ack _) | Some (Read_reply _) | None -> ignore from
   done
 
@@ -171,9 +224,66 @@ let applier r =
     done
   done
 
+(* State transfer to one (typically restarted) memory: take the write
+   permission there, then install the leader's full view of the region —
+   checkpoint, log entries, lease — in ONE batched write, which stamps
+   every register fresh in the memory's current epoch
+   ([Memory.stale_registers] becomes empty).
+
+   Only registers still STALE since the restart are written: a fresh
+   register was written after the rejoin — possibly by a newer-term
+   leader — and clobbering it with this leader's (possibly outdated)
+   view could erase a committed entry.  The staleness mask models
+   reading the memory's per-epoch valid bitmap; the batched write stays
+   permission-guarded, so if a rival takes the permission between the
+   mask read and the write, the write naks and the rival repairs
+   instead.  Spawned as a sub-fiber so a memory that re-crashes
+   mid-transfer cannot wedge the leader. *)
+let spawn_repair (ctx : _ Cluster.ctx) r ~term ~up_to ~entries ~tail mid =
+  ctx.Cluster.spawn_sub
+    (Printf.sprintf "smr.repair%d" mid)
+    (fun () ->
+      let client = ctx.Cluster.client in
+      let n = ctx.Cluster.cluster_n in
+      let (_ : Memory.op_result) =
+        Memclient.change_permission client ~mem:mid ~region
+          ~perm:(Permission.exclusive_writer ~writer:r.pid ~n)
+      in
+      let tail_tbl = Hashtbl.create 16 in
+      List.iter (fun (i, cmd) -> Hashtbl.replace tail_tbl i cmd) tail;
+      let slot i =
+        ( entry_reg i,
+          if i <= up_to then None
+          else
+            Option.map
+              (fun cmd -> encode_entry ~term ~cmd)
+              (Hashtbl.find_opt tail_tbl i) )
+      in
+      let values =
+        (ckpt_reg, if up_to = 0 then None else Some (encode_ckpt ~up_to ~entries))
+        :: (lease_reg, Some (Codec.int_field term))
+        :: List.init r.cfg.max_entries (fun i -> slot (i + 1))
+      in
+      let stale = Memory.stale_registers (Memclient.mem client mid) ~region in
+      let values = List.filter (fun (reg, _) -> List.mem reg stale) values in
+      if values <> [] then
+        match Memclient.write_many client ~mem:mid ~region ~values with
+        | Memory.Ack ->
+            Stats.bump ctx.Cluster.ctx_stats "smr.repairs";
+            Obs.event ctx.Cluster.ctx_obs ~actor:(Printf.sprintf "p%d" r.pid)
+              (Event.Custom
+                 { name = "smr.repair"; detail = Printf.sprintf "mu%d" mid })
+        | Memory.Nak -> ())
+
 (* Leader recovery: take permissions, read a majority of replicas, adopt
-   max-term values per slot, rewrite them under our own term.  Returns
-   the adopted log (dense prefix) or None if deposed meanwhile. *)
+   the highest checkpoint plus max-term values per later slot, rewrite
+   them under our own term.  Returns the adopted log (dense prefix) and
+   the adopted checkpoint index, or None if deposed meanwhile.
+
+   A read nak no longer dooms the recovery: a restarted memory answers
+   "I don't know" for its stale registers (rather than serving lost state
+   as ⊥), so we wait for a quorum of SUCCESSFUL chains and repair the
+   nak'd memories with a full state transfer afterwards. *)
 let recover (ctx : _ Cluster.ctx) r ~term =
   let cfg = r.cfg in
   let m = ctx.Cluster.cluster_m in
@@ -181,8 +291,8 @@ let recover (ctx : _ Cluster.ctx) r ~term =
   let quorum = m - f_m in
   let n = ctx.Cluster.cluster_n in
   let client = ctx.Cluster.client in
-  let regs = List.init cfg.max_entries (fun i -> entry_reg (i + 1)) in
-  (* per-memory chain: grab permission, read the whole log *)
+  let regs = ckpt_reg :: List.init cfg.max_entries (fun i -> entry_reg (i + 1)) in
+  (* per-memory chain: grab permission, read checkpoint + whole log *)
   let chains = Array.init m (fun _ -> Ivar.create ()) in
   for i = 0 to m - 1 do
     ctx.Cluster.spawn_sub
@@ -199,51 +309,107 @@ let recover (ctx : _ Cluster.ctx) r ~term =
         | Memory.Read_many values -> Ivar.fill chains.(i) (Some values)
         | Memory.Read_many_nak -> Ivar.fill chains.(i) None)
   done;
-  let completed = Par.await_k chains quorum in
-  if List.exists (fun (_, v) -> v = None) completed then None
-  else begin
-    let adopted = Array.make cfg.max_entries None in
-    List.iter
-      (fun (_, values) ->
-        match values with
-        | None -> ()
-        | Some values ->
-            Array.iteri
-              (fun idx v ->
-                match Option.bind v decode_entry with
-                | None -> ()
-                | Some (t, cmd) -> (
-                    match adopted.(idx) with
-                    | Some (t0, _) when t0 >= t -> ()
-                    | _ -> adopted.(idx) <- Some (t, cmd)))
-              values)
-      completed;
-    (* Rewrite the dense adopted prefix under our term. *)
-    let prefix = ref [] in
-    (try
-       Array.iteri
-         (fun idx e ->
-           match e with
-           | Some (_, cmd) -> prefix := (idx + 1, cmd) :: !prefix
-           | None -> raise Exit)
-         adopted
-     with Exit -> ());
-    let prefix = List.rev !prefix in
-    let deposed = ref false in
-    List.iter
-      (fun (index, cmd) ->
-        if not !deposed then begin
-          let writes =
-            Memclient.write_all_async client ~region ~reg:(entry_reg index)
-              (encode_entry ~term ~cmd)
-          in
-          let completed = Par.await_k writes quorum in
-          if not (List.for_all (fun (_, w) -> w = Memory.Ack) completed) then
-            deposed := true
-        end)
-      prefix;
-    if !deposed then None else Some prefix
-  end
+  (* Gather a quorum of successful chains, tolerating naks: each round
+     waits for [quorum + failures-so-far] completions; crashed memories
+     never complete, so give up (and retry in a later term) once that
+     exceeds m. *)
+  let rec gather k =
+    if k > m then None
+    else begin
+      let completed = Par.await_k chains k in
+      let failed =
+        List.filter_map (fun (i, v) -> if v = None then Some i else None) completed
+      in
+      let ok =
+        List.filter_map (fun (i, v) -> Option.map (fun vs -> (i, vs)) v) completed
+      in
+      if List.length ok >= quorum then Some (ok, failed)
+      else gather (quorum + List.length failed)
+    end
+  in
+  match gather quorum with
+  | None -> None
+  | Some (ok, failed) ->
+      (* Adopt the highest checkpoint seen: it covers only committed
+         entries (written quorum-acked before any truncation), and the
+         read quorum intersects the checkpoint's write quorum. *)
+      let base = ref 0 in
+      let base_entries = ref [] in
+      List.iter
+        (fun (_, values) ->
+          match Array.length values with
+          | 0 -> ()
+          | _ -> (
+              match Option.bind values.(0) decode_ckpt with
+              | Some (up_to, entries) when up_to > !base ->
+                  base := up_to;
+                  base_entries := entries
+              | _ -> ()))
+        ok;
+      let base = !base in
+      (* Per-slot max-term adoption above the checkpoint (values below it
+         may be truncated away and are covered by the checkpoint). *)
+      let adopted = Array.make cfg.max_entries None in
+      List.iter
+        (fun (_, values) ->
+          Array.iteri
+            (fun j v ->
+              if j > 0 then begin
+                let idx = j - 1 in
+                if idx >= base then
+                  match Option.bind v decode_entry with
+                  | None -> ()
+                  | Some (t, cmd) -> (
+                      match adopted.(idx) with
+                      | Some (t0, _) when t0 >= t -> ()
+                      | _ -> adopted.(idx) <- Some (t, cmd))
+              end)
+            values)
+        ok;
+      (* Dense adopted tail above the checkpoint. *)
+      let tail = ref [] in
+      (try
+         for idx = base to cfg.max_entries - 1 do
+           match adopted.(idx) with
+           | Some (_, cmd) -> tail := (idx + 1, cmd) :: !tail
+           | None -> raise Exit
+         done
+       with Exit -> ());
+      let tail = List.rev !tail in
+      let deposed = ref false in
+      (* Re-replicate the adopted checkpoint, then rewrite the tail under
+         our term. *)
+      if base > 0 then begin
+        let writes =
+          Memclient.write_all_async client ~region ~reg:ckpt_reg
+            (encode_ckpt ~up_to:base ~entries:!base_entries)
+        in
+        let completed = Par.await_k writes quorum in
+        if not (List.for_all (fun (_, w) -> w = Memory.Ack) completed) then
+          deposed := true
+      end;
+      List.iter
+        (fun (index, cmd) ->
+          if not !deposed then begin
+            let writes =
+              Memclient.write_all_async client ~region ~reg:(entry_reg index)
+                (encode_entry ~term ~cmd)
+            in
+            let completed = Par.await_k writes quorum in
+            if not (List.for_all (fun (_, w) -> w = Memory.Ack) completed) then
+              deposed := true
+          end)
+        tail;
+      if !deposed then None
+      else begin
+        (* State-transfer repair of the memories whose chains nak'd (they
+           restarted and lost the log). *)
+        List.iter
+          (fun mid -> spawn_repair ctx r ~term ~up_to:base ~entries:!base_entries ~tail mid)
+          failed;
+        let prefix = List.mapi (fun i e -> (i + 1, e)) !base_entries @ tail in
+        Some (prefix, base)
+      end
 
 (* Append one entry in steady state: a single replicated write; all-ack
    majority = committed (two delays). *)
@@ -272,36 +438,132 @@ let leader_loop (ctx : _ Cluster.ctx) r =
       else begin
         let term = (!terms * r.cfg.replicas) + r.pid + 1 in
         r.current_term <- term;
-        (* First leader in its first term owns the permissions already
-           and the log is empty: skip recovery (the 2-delay fast path
-           from the very first append). *)
+        (* The very first reign of the initial leader: permissions are
+           still at their creation values and the log is empty — skip
+           recovery (the 2-delay fast path from the very first append).
+           A RESTARTED initial leader (now > 0) recovers like anyone
+           else. *)
         let recovered =
-          if r.pid = 0 && !terms = 1 then Some []
+          if r.pid = 0 && !terms = 1 && Engine.now ctx.Cluster.ctx_engine = 0.0
+          then Some ([], 0)
           else recover ctx r ~term
         in
         match recovered with
         | None -> () (* deposed during recovery; wait for Ω again *)
-        | Some prefix ->
+        | Some (prefix, ckpt_base) ->
+            r.caught_up <- true;
             (* Rebuild duplicate suppression from the log, then apply and
-               announce the recovered prefix (stripped of metadata). *)
+               announce the recovered prefix (stripped of metadata).
+               [stored] keeps the full committed log (including entries
+               covered by the checkpoint) for snapshots and repairs. *)
             let dedup = Hashtbl.create 32 in
+            let stored = Hashtbl.create 64 in
+            let ckpt_up_to = ref ckpt_base in
             List.iter
-              (fun (index, stored) ->
+              (fun (index, stored_v) ->
+                Hashtbl.replace stored index stored_v;
                 let cmd =
-                  match decode_cmd_meta stored with
+                  match decode_cmd_meta stored_v with
                   | Some (client, seq, cmd) ->
                       Hashtbl.replace dedup (client, seq) index;
                       cmd
-                  | None -> stored
+                  | None -> stored_v
                 in
                 Mailbox.send r.pending (index, cmd);
                 Network.broadcast ep (encode_msg (Commit { index; cmd })))
               prefix;
             let next = ref (List.length prefix + 1) in
             let deposed = ref false in
+            let m = ctx.Cluster.cluster_m in
+            let f_m = match r.cfg.f_m with Some f -> f | None -> (m - 1) / 2 in
+            let quorum = m - f_m in
+            (* Once [checkpoint_every] entries have committed past the
+               last checkpoint: write the snapshot register (quorum-acked
+               — only then is the checkpoint allowed to exist), then
+               truncate the covered prefix with one batched ⊥-write per
+               memory. *)
+            let maybe_checkpoint () =
+              if r.cfg.checkpoint_every > 0
+                 && !next - 1 >= !ckpt_up_to + r.cfg.checkpoint_every
+              then begin
+                let up_to = !next - 1 in
+                let entries = List.init up_to (fun i -> Hashtbl.find stored (i + 1)) in
+                let writes =
+                  Memclient.write_all_async ctx.Cluster.client ~region
+                    ~reg:ckpt_reg (encode_ckpt ~up_to ~entries)
+                in
+                let completed = Par.await_k writes quorum in
+                if List.for_all (fun (_, w) -> w = Memory.Ack) completed then begin
+                  let nones = List.init up_to (fun i -> (entry_reg (i + 1), None)) in
+                  let truncs =
+                    Array.init m (fun i ->
+                        Memory.write_many_async
+                          (Memclient.mem ctx.Cluster.client i)
+                          ~from:r.pid ~region ~values:nones)
+                  in
+                  ignore (Par.await_k truncs quorum);
+                  ckpt_up_to := up_to;
+                  Stats.bump ctx.Cluster.ctx_stats "smr.checkpoints"
+                end
+                else deposed := true
+              end
+            in
+            (* A restarted memory announced itself (via the Mem_restart
+               telemetry event): transfer it a full snapshot. *)
+            let serve_rejoins () =
+              match Mailbox.drain r.rejoin with
+              | [] -> ()
+              | mids -> (
+                  (* Leadership proof before a state transfer: rewrite
+                     the term lease quorum-acked.  All-ack means we still
+                     hold write permission on a quorum, so every
+                     committed entry is ours or was adopted by our
+                     recovery — the transfer cannot mask an entry a
+                     newer-term leader committed.  On any nak we are
+                     deposed; the rival heard the same Mem_restart events
+                     on its own rejoin mailbox and serves them itself. *)
+                  let writes =
+                    Memclient.write_all_async ctx.Cluster.client ~region
+                      ~reg:lease_reg (Codec.int_field term)
+                  in
+                  let completed = Par.await_k writes quorum in
+                  match List.for_all (fun (_, w) -> w = Memory.Ack) completed with
+                  | false -> deposed := true
+                  | true ->
+                      let entries =
+                        List.init !ckpt_up_to (fun i -> Hashtbl.find stored (i + 1))
+                      in
+                      let tail =
+                        List.init (!next - 1 - !ckpt_up_to) (fun i ->
+                            let index = !ckpt_up_to + i + 1 in
+                            (index, Hashtbl.find stored index))
+                      in
+                      List.iter
+                        (fun mid ->
+                          spawn_repair ctx r ~term ~up_to:!ckpt_up_to ~entries
+                            ~tail mid)
+                        (List.sort_uniq compare mids))
+            in
+            (* A restarted replica asked to catch up: send it the whole
+               committed log as one snapshot message — it installs the
+               state instead of replaying (entries below the checkpoint
+               may no longer exist in the log anyway). *)
+            let serve_catchups () =
+              match Mailbox.drain r.catchups with
+              | [] -> ()
+              | pids ->
+                  let up_to = !next - 1 in
+                  let entries = List.init up_to (fun i -> Hashtbl.find stored (i + 1)) in
+                  List.iter
+                    (fun dst ->
+                      Network.send ep ~dst (encode_msg (Snapshot { up_to; entries })))
+                    (List.sort_uniq compare pids)
+            in
             while (not !deposed) && (not r.stopped)
                   && Engine.now ctx.Cluster.ctx_engine < r.cfg.serve_until
                   && Omega.leader ctx.Cluster.ctx_omega = r.pid do
+              serve_rejoins ();
+              serve_catchups ();
               (* Linearizable reads (Mu-style): confirm the reign is
                  intact with one permission-protected write to a scratch
                  lease register — it naks iff a rival grabbed the
@@ -309,10 +571,6 @@ let leader_loop (ctx : _ Cluster.ctx) r =
               (match Mailbox.drain r.reads with
               | [] -> ()
               | readers ->
-                  let m = ctx.Cluster.cluster_m in
-                  let f_m =
-                    match r.cfg.f_m with Some f -> f | None -> (m - 1) / 2
-                  in
                   let writes =
                     Memclient.write_all_async ctx.Cluster.client ~region
                       ~reg:lease_reg (Codec.int_field term)
@@ -336,19 +594,21 @@ let leader_loop (ctx : _ Cluster.ctx) r =
                         (encode_msg (Ack { client = client_pid; seq; index }))
                   | None ->
                       if !next > r.cfg.max_entries then deposed := true
-                      else if
-                        append ctx r ~term ~index:!next
-                          ~cmd:(encode_cmd_meta ~client:client_pid ~seq ~cmd)
-                      then begin
-                        let index = !next in
-                        incr next;
-                        Hashtbl.replace dedup (client_pid, seq) index;
-                        Mailbox.send r.pending (index, cmd);
-                        Network.broadcast ep (encode_msg (Commit { index; cmd }));
-                        Network.send ep ~dst:client_pid
-                          (encode_msg (Ack { client = client_pid; seq; index }))
-                      end
-                      else deposed := true)
+                      else begin
+                        let meta = encode_cmd_meta ~client:client_pid ~seq ~cmd in
+                        if append ctx r ~term ~index:!next ~cmd:meta then begin
+                          let index = !next in
+                          incr next;
+                          Hashtbl.replace dedup (client_pid, seq) index;
+                          Hashtbl.replace stored index meta;
+                          Mailbox.send r.pending (index, cmd);
+                          Network.broadcast ep (encode_msg (Commit { index; cmd }));
+                          Network.send ep ~dst:client_pid
+                            (encode_msg (Ack { client = client_pid; seq; index }));
+                          maybe_checkpoint ()
+                        end
+                        else deposed := true
+                      end)
             done
       end
     end
@@ -363,12 +623,53 @@ let spawn_replica cluster ?(cfg = default_config) ~pid () =
       applied_up_to = 0;
       current_term = 0;
       stopped = false;
+      caught_up = false;
+      subscribed = false;
       pending = Mailbox.create ();
       requests = Mailbox.create ();
       reads = Mailbox.create ();
+      rejoin = Mailbox.create ();
+      catchups = Mailbox.create ();
     }
   in
   Cluster.spawn cluster ~pid (fun ctx ->
+      (* A (re)started replica begins from nothing: drop any pre-crash
+         state and catch up from the current leader (snapshot install) —
+         Cluster.restart_process re-runs this program from the top. *)
+      Queue.clear r.applied;
+      r.applied_up_to <- 0;
+      r.current_term <- 0;
+      r.stopped <- false;
+      r.caught_up <- false;
+      ignore (Mailbox.drain r.pending);
+      ignore (Mailbox.drain r.requests);
+      ignore (Mailbox.drain r.reads);
+      ignore (Mailbox.drain r.catchups);
+      (* Restarted-memory announcements: every replica listens, the
+         current leader acts (see serve_rejoins). *)
+      if not r.subscribed then begin
+        r.subscribed <- true;
+        Obs.subscribe ctx.Cluster.ctx_obs (fun ~at:_ ~actor:_ ev ->
+            match (ev : Event.t) with
+            | Event.Mem_restart { mid; _ } -> Mailbox.send r.rejoin mid
+            | _ -> ())
+      end;
+      (* Only a restarted replica (now > 0) needs to catch up: ask the
+         current leader for a snapshot until one arrives. *)
+      if Engine.now ctx.Cluster.ctx_engine > 0.0 then
+        ctx.Cluster.spawn_sub "smr.catchup" (fun () ->
+            while
+              (not r.stopped) && (not r.caught_up)
+              && Engine.now ctx.Cluster.ctx_engine < cfg.serve_until
+            do
+              let leader =
+                min (Omega.leader ctx.Cluster.ctx_omega) (cfg.replicas - 1)
+              in
+              if leader <> r.pid then
+                Network.send ctx.Cluster.ep ~dst:leader
+                  (encode_msg (Catch_up { pid = r.pid }));
+              Engine.sleep 25.0
+            done);
       ctx.Cluster.spawn_sub "smr.pump" (fun () -> pump ctx r);
       ctx.Cluster.spawn_sub "smr.applier" (fun () -> applier r);
       leader_loop ctx r);

@@ -10,6 +10,17 @@ val region : string
 
 val entry_reg : int -> string
 
+(** The checkpoint register: a quorum-acked snapshot of the committed
+    prefix ([up_to] plus the stored entries [1..up_to]).  Written only
+    after the covered entries committed, so a checkpoint read from any
+    single replica is safe to adopt; the log below it may be
+    truncated. *)
+val ckpt_reg : string
+
+val encode_ckpt : up_to:int -> entries:string list -> string
+
+val decode_ckpt : string -> (int * string list) option
+
 val encode_entry : term:int -> cmd:string -> string
 
 val decode_entry : string -> (int * string) option
@@ -26,6 +37,10 @@ type msg =
   | Commit of { index : int; cmd : string }
   | Read_request of { client : int; seq : int }
   | Read_reply of { client : int; seq : int; up_to : int }
+  | Catch_up of { pid : int }
+      (** a restarted replica asking the leader for a snapshot *)
+  | Snapshot of { up_to : int; entries : string list }
+      (** the committed prefix, installed wholesale (no log replay) *)
 
 val encode_msg : msg -> string
 
@@ -38,6 +53,9 @@ type config = {
   max_terms : int;
   serve_until : float;
       (** virtual time at which replicas stop serving (so runs quiesce) *)
+  checkpoint_every : int;
+      (** checkpoint (and truncate the log below) every this many
+          committed entries; [0] disables checkpointing *)
 }
 
 val default_config : config

@@ -62,4 +62,24 @@ dune exec bin/rdma_agreement.exe -- chaos replay "$tmp/repro.json" \
 cmp "$tmp/replay1.out" "$tmp/replay2.out"
 echo "chaos replay deterministic: same artifact, same verdict bytes"
 
+echo "== recovery smoke test =="
+# Crash -> recover -> repair schedules: the nemesis pairs every crash
+# with a recovery, and the oracle's repair invariant demands the
+# rejoined memory is fully re-replicated by the watchdog.  Each batch
+# runs twice; seeded exploration must be byte-identical.
+dune exec bin/rdma_agreement.exe -- chaos explore swmr-recovery \
+  --runs 25 --seed 1 > "$tmp/swmr1.out"
+dune exec bin/rdma_agreement.exe -- chaos explore swmr-recovery \
+  --runs 25 --seed 1 > "$tmp/swmr2.out"
+cmp "$tmp/swmr1.out" "$tmp/swmr2.out"
+cat "$tmp/swmr1.out"
+
+dune exec bin/rdma_agreement.exe -- chaos explore pmp-multi-recovery \
+  --runs 25 --seed 1 > "$tmp/pmp1.out"
+dune exec bin/rdma_agreement.exe -- chaos explore pmp-multi-recovery \
+  --runs 25 --seed 1 > "$tmp/pmp2.out"
+cmp "$tmp/pmp1.out" "$tmp/pmp2.out"
+cat "$tmp/pmp1.out"
+echo "recovery chaos deterministic: same seed, same bytes"
+
 echo "== ok =="

@@ -21,6 +21,8 @@ let schedule : Fault.t list =
     Crash_machine { pid = 0; mid = 2; at = 9.0 };
     Partition { pairs = [ (0, 1); (2, 0) ]; at = 4.0 };
     Heal { at = 11.0 };
+    Recover_memory { mid = 0; at = 6.5 };
+    Restart_machine { pid = 0; mid = 2; at = 14.0 };
   ]
 
 let test_codec_round_trip () =
@@ -66,7 +68,15 @@ let test_apply_validates_targets () =
   Alcotest.check_raises "machine crash checks both halves"
     (Invalid_argument "Fault.apply: mid 4 outside cluster of 1 memories")
     (fun () ->
-      Fault.apply cluster [ Crash_machine { pid = 0; mid = 4; at = 1.0 } ])
+      Fault.apply cluster [ Crash_machine { pid = 0; mid = 4; at = 1.0 } ]);
+  Alcotest.check_raises "memory recovery target validated"
+    (Invalid_argument "Fault.apply: mid 7 outside cluster of 1 memories")
+    (fun () ->
+      Fault.apply cluster [ Recover_memory { mid = 7; at = 1.0 } ]);
+  Alcotest.check_raises "machine restart checks both halves"
+    (Invalid_argument "Fault.apply: pid 9 outside cluster of 3 processes")
+    (fun () ->
+      Fault.apply cluster [ Restart_machine { pid = 9; mid = 0; at = 1.0 } ])
 
 let get_scenario name =
   match Scenario.find name with
@@ -120,14 +130,26 @@ let test_nemesis_respects_budget () =
         if mem + machine > b.Nemesis.max_memory_crashes + b.Nemesis.max_machine_crashes
         then
           Alcotest.failf "%s seed %d: memory budget exceeded" s.name seed;
+        let recoveries =
+          count
+            (function
+              | Fault.Recover_memory _ | Fault.Restart_machine _ -> true
+              | _ -> false)
+            faults
+        in
+        if recoveries > b.Nemesis.max_recoveries then
+          Alcotest.failf "%s seed %d: %d recoveries > %d" s.name seed recoveries
+            b.Nemesis.max_recoveries;
         (* +1: when the initial leader goes Byzantine the nemesis adds a
            corrective repoint outside the flap pool *)
         if flaps > b.Nemesis.max_leader_flaps + 1 then
           Alcotest.failf "%s seed %d: %d flaps > %d" s.name seed flaps
             b.Nemesis.max_leader_flaps;
         (* +2: a Partition pick emits its Heal companion, and the
-           Byzantine leader fix rides along outside the cap *)
-        if List.length faults > b.Nemesis.max_faults + 2 then
+           Byzantine leader fix rides along outside the cap; paired
+           recoveries ride along too *)
+        if List.length faults > b.Nemesis.max_faults + 2 + b.Nemesis.max_recoveries
+        then
           Alcotest.failf "%s seed %d: schedule too long" s.name seed;
         List.iter
           (fun f ->
@@ -144,6 +166,11 @@ let test_nemesis_respects_budget () =
                    so they may trail the horizon by the 2.0 grace gap *)
                 if at < 0.0 || at > b.Nemesis.horizon +. 2.0 then
                   Alcotest.failf "%s seed %d: heal outside horizon" s.name seed
+            | Recover_memory { at; _ } | Restart_machine { at; _ } ->
+                (* recoveries land at crash + 2.0 + U[0, horizon/2) *)
+                if at < 0.0 || at > (b.Nemesis.horizon *. 1.5) +. 2.0 then
+                  Alcotest.failf "%s seed %d: recovery outside horizon" s.name
+                    seed
             | Async_until { gst; extra } ->
                 (* drawn as 1.0 + U[0, max): max_gst = 0 disables the
                    asynchronous prefix entirely, hence the offset *)
@@ -267,6 +294,46 @@ let test_containment_robust_backup () = containment "robust-backup"
 
 let test_containment_fast_robust () = containment "fast-robust"
 
+(* >= 100 crash -> recover schedules per recovery scenario: the repair
+   invariant holds (every rejoined live memory fully re-replicated at
+   the watchdog) alongside agreement and liveness. *)
+let recovery_batch ?(runs = 150) name =
+  let s = get_scenario name in
+  (* Explore runs case i with seed + i; count how many of those
+     schedules actually contain a crash -> recover pair. *)
+  let with_recovery = ref 0 in
+  for i = 0 to runs - 1 do
+    let case = Scenario.generate s ~seed:(1 + i) () in
+    if
+      List.exists
+        (function
+          | Fault.Recover_memory _ | Fault.Restart_machine _ -> true
+          | _ -> false)
+        case.Nemesis.faults
+    then incr with_recovery
+  done;
+  if !with_recovery < 100 then
+    Alcotest.failf "%s: only %d/%d schedules contain a recovery" name
+      !with_recovery runs;
+  let options = { Explore.default_options with runs; seed = 1 } in
+  let batch = Explore.explore ~options s in
+  let show (f : Explore.failure) =
+    Printf.sprintf "seed %d: %s" f.outcome.case.Nemesis.case_seed
+      (String.concat ", "
+         (List.map Oracle.violation_to_string f.outcome.Scenario.violations))
+  in
+  Alcotest.(check (list string))
+    (Printf.sprintf "%s holds all invariants across %d schedules" name runs)
+    []
+    (List.map show batch.failures);
+  Alcotest.(check int) "all ran" runs (batch.passed + List.length batch.failures)
+
+let test_recovery_swmr () = recovery_batch "swmr-recovery"
+
+(* only ~55% of pmp-multi schedules draw a crash the nemesis can pair
+   with a recovery, so a larger batch reaches the 100-schedule floor *)
+let test_recovery_pmp_multi () = recovery_batch ~runs:220 "pmp-multi-recovery"
+
 let suite =
   [
     Alcotest.test_case "fault codec round trip" `Quick test_codec_round_trip;
@@ -290,4 +357,8 @@ let suite =
       test_containment_robust_backup;
     Alcotest.test_case "fast-robust Byzantine containment (200 runs)" `Slow
       test_containment_fast_robust;
+    Alcotest.test_case "swmr-recovery repair invariant (150 runs)" `Slow
+      test_recovery_swmr;
+    Alcotest.test_case "pmp-multi-recovery repair invariant (220 runs)" `Slow
+      test_recovery_pmp_multi;
   ]

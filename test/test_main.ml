@@ -27,6 +27,7 @@ let () =
       ("lower-bound", Test_probe.suite);
       ("attacks", Test_attacks.suite);
       ("smr", Test_smr.suite);
+      ("recovery", Test_recovery.suite);
       ("lock-service", Test_lock_service.suite);
       ("bft-log", Test_bft_log.suite);
       ("properties", Test_properties.suite);

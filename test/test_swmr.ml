@@ -131,6 +131,44 @@ let test_read_detailed_reports_naks () =
       Alcotest.(check (option string)) "no value" None value;
       Alcotest.(check bool) "naks reported" true naks)
 
+let test_read_repair_converges_after_restart () =
+  (* A replica crashes after the write and rejoins EMPTY: its register is
+     stale and naks reads.  One read_repair sweep by the writer must
+     write the majority value back so the rejoined replica is fully
+     fresh and serves the value again. *)
+  let engine, memories = build () in
+  run_fiber engine (fun () ->
+      let w = handle memories 0 in
+      Alcotest.(check bool) "write acks" true (Swmr.write w ~reg:"x" "v" = Memory.Ack);
+      Memory.crash memories.(1);
+      Memory.restart memories.(1);
+      Alcotest.(check (list string)) "rejoined replica is stale" [ "x" ]
+        (Memory.stale_registers memories.(1) ~region:"swmr.0");
+      Alcotest.(check (option string)) "repair read still returns the value" (Some "v")
+        (Swmr.read_repair w ~reg:"x");
+      Alcotest.(check (list string)) "replica repaired" []
+        (Memory.stale_registers memories.(1) ~region:"swmr.0");
+      Alcotest.(check (option string)) "rejoined replica serves directly" (Some "v")
+        (Memory.peek_register memories.(1) "x"))
+
+let test_read_repair_skips_crashed_replica () =
+  (* A still-crashed replica never responds; the repair sweep must not
+     block on it — it repairs the responders and returns. *)
+  let engine, memories = build () in
+  run_fiber engine (fun () ->
+      let w = handle memories 0 in
+      ignore (Swmr.write w ~reg:"x" "v");
+      Memory.crash memories.(2);
+      Alcotest.(check (option string)) "repair completes on the live majority"
+        (Some "v") (Swmr.read_repair w ~reg:"x");
+      (* the crashed replica is untouched; once it rejoins, a later sweep
+         picks it up *)
+      Memory.restart memories.(2);
+      Alcotest.(check (option string)) "next sweep repairs the rejoiner" (Some "v")
+        (Swmr.read_repair w ~reg:"x");
+      Alcotest.(check (list string)) "rejoiner fresh" []
+        (Memory.stale_registers memories.(2) ~region:"swmr.0"))
+
 let suite =
   [
     Alcotest.test_case "write then read" `Quick test_write_then_read;
@@ -144,4 +182,8 @@ let suite =
     Alcotest.test_case "write naks if a replica was revoked" `Quick
       test_write_nak_on_revoked_replica;
     Alcotest.test_case "read_detailed reports naks" `Quick test_read_detailed_reports_naks;
+    Alcotest.test_case "read_repair converges after a restart" `Quick
+      test_read_repair_converges_after_restart;
+    Alcotest.test_case "read_repair skips crashed replicas" `Quick
+      test_read_repair_skips_crashed_replica;
   ]
