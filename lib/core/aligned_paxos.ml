@@ -202,7 +202,7 @@ let acceptor (ctx : _ Cluster.ctx) ~acceptor_box =
           Network.send ep ~dst:from
             (Paxos.encode (Paxos.Reject { ballot; higher = !min_proposal }))
     | Paxos.Decide _ -> continue := false
-    | _ -> ()
+    | Paxos.Promise _ | Paxos.Reject _ | Paxos.Accepted _ -> ()
   done
 
 type collect_outcome =
@@ -278,7 +278,9 @@ let proposer (ctx : _ Cluster.ctx) cfg ~input ~reply_box decision =
               | Proc_msg { msg = Paxos.Decide { value }; _ } ->
                   decide_now ctx decision value;
                   `No
-              | _ -> `Stale)
+              | Mem_info _ | Mem_fail _ (* stale proposal *)
+              | Mem_ack _ (* phase-2 stragglers *)
+              | Proc_msg _ -> `Stale)
         in
         match phase1 with
         | Restart ->
@@ -307,7 +309,7 @@ let proposer (ctx : _ Cluster.ctx) cfg ~input ~reply_box decision =
                     { msg = Paxos.Promise { accepted_ballot; accepted_value; _ }; _ }
                   ->
                     consider accepted_ballot accepted_value
-                | _ -> ())
+                | Mem_ack _ | Mem_fail _ | Proc_msg _ -> ())
               replies;
             let value = match !best with Some (_, v) -> v | None -> input in
             (* Phase 2 *)
@@ -331,7 +333,8 @@ let proposer (ctx : _ Cluster.ctx) cfg ~input ~reply_box decision =
                   | Proc_msg { msg = Paxos.Decide { value }; _ } ->
                       decide_now ctx decision value;
                       `No
-                  | _ -> `Stale)
+                  | Mem_ack _ | Mem_fail _ | Mem_info _ (* stale proposal *)
+                  | Proc_msg _ -> `Stale)
             in
             match phase2 with
             | Restart ->

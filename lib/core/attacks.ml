@@ -139,7 +139,11 @@ let rb_double_promise (ctx : _ Cluster.ctx) =
         | Some (Paxos.Prepare { ballot }) ->
             Rdma_sim.Mailbox.send box (src, ballot);
             true
-        | _ -> false)
+        | Some
+            ( Paxos.Promise _ | Paxos.Reject _ | Paxos.Accept _
+            | Paxos.Accepted _ | Paxos.Decide _ )
+        | None ->
+            false)
       ()
   in
   let src, ballot = Rdma_sim.Mailbox.recv box in

@@ -205,7 +205,7 @@ let learner st =
           end
         end
     | Decide _ -> continue := false
-    | _ -> ()
+    | Propose _ | Prepare _ | Promise _ | Reject _ | Accept _ | Accepted _ -> ()
   done
 
 (* The fast proposer: p0 fires immediately; others hold back so the
@@ -235,7 +235,9 @@ let collect_promises st ~ballot ~quorum =
                 loop ((from, accepted_ballot, accepted_value, has_fast) :: acc)
             | Reject { ballot = b; _ } when b = ballot -> Rejected
             | Decide _ -> Rejected
-            | _ -> loop acc)
+            | Promise _ | Reject _ (* stale ballot *)
+            | Propose _ | FastAccepted _ | Prepare _ | Accept _ | Accepted _ ->
+                loop acc)
   in
   loop []
 
@@ -254,7 +256,9 @@ let collect_accepts st ~ballot ~quorum =
             | Accepted { ballot = b } when b = ballot -> loop (count + 1)
             | Reject { ballot = b; _ } when b = ballot -> Rejected
             | Decide _ -> Rejected
-            | _ -> loop count)
+            | Accepted _ | Reject _ (* stale ballot *)
+            | Propose _ | FastAccepted _ | Prepare _ | Promise _ | Accept _ ->
+                loop count)
   in
   loop 0
 
@@ -308,13 +312,18 @@ let recovery st =
                           in
                           Hashtbl.replace counts av c)
                       promises;
+                    (* Order-independent max-reduction: highest count,
+                       ties broken toward the smaller value — a total
+                       order, so the hash-bucket fold order cannot
+                       change the result. *)
                     let best =
-                      Hashtbl.fold
-                        (fun v c acc ->
-                          match acc with
-                          | Some (c0, v0) when c0 > c || (c0 = c && v0 <= v) -> acc
-                          | _ -> Some (c, v))
-                        counts None
+                      (Hashtbl.fold
+                         (fun v c acc ->
+                           match acc with
+                           | Some (c0, v0) when c0 > c || (c0 = c && v0 <= v) -> acc
+                           | _ -> Some (c, v))
+                         counts None)
+                      [@simlint.allow "D2"]
                     in
                     match best with Some (_, v) -> v | None -> st.input)
               in

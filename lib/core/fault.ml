@@ -32,6 +32,10 @@ type t =
   | Restart_machine of { pid : int; mid : int; at : float }
       (* restart a full machine: the memory rejoins empty and the process
          re-runs its program from the top *)
+[@@simlint.protocol]
+(* simlint D3: a new fault constructor must be handled (or consciously
+   ignored) by every schedule generator, codec, and oracle — no silent
+   wildcard fall-through. *)
 
 (* Every fault names its targets before the run starts, so a target
    outside the cluster is a schedule bug, not a benign no-op: a typo'd

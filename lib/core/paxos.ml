@@ -159,7 +159,8 @@ module Make (T : Transport.S) = struct
               match m with
               | Decide _ -> Decided
               | Reject { ballot = b; higher } when b = ballot -> Rejected higher
-              | _ -> (
+              | Reject _ (* stale ballot *)
+              | Prepare _ | Promise _ | Accept _ | Accepted _ -> (
                   match extract from m with
                   | Some r when not (List.mem from seen) ->
                       loop (r :: acc) (from :: seen)
@@ -197,7 +198,9 @@ module Make (T : Transport.S) = struct
                     | Promise { ballot = b; accepted_ballot; accepted_value }
                       when b = ballot ->
                         Some (accepted_ballot, accepted_value)
-                    | _ -> None))
+                    | Promise _ (* stale ballot *)
+                    | Prepare _ | Reject _ | Accept _ | Accepted _ | Decide _ ->
+                        None))
           in
           match phase1 with
           | Decided -> continue := false
@@ -224,7 +227,9 @@ module Make (T : Transport.S) = struct
                       ~extract:(fun _ m ->
                         match m with
                         | Accepted { ballot = b } when b = ballot -> Some ()
-                        | _ -> None))
+                        | Accepted _ (* stale ballot *)
+                        | Prepare _ | Promise _ | Reject _ | Accept _ | Decide _ ->
+                            None))
               in
               match phase2 with
               | Decided -> continue := false

@@ -89,14 +89,18 @@ let attach (ctx : _ Cluster.ctx) ?(cfg = default_config) ?(classify = no_priorit
                 gather ()
       in
       gather ();
+      (* Order-independent max-reduction: highest priority class, ties
+         broken toward the larger value — a total order, so the
+         hash-bucket fold order cannot change the adopted input. *)
       let best =
-        Hashtbl.fold
-          (fun _src (v, e) acc ->
-            let p = classify ~value:v ~evidence:e in
-            match acc with
-            | Some (p0, v0) when p0 > p || (p0 = p && v0 >= v) -> acc
-            | _ -> Some (p, v))
-          seen None
+        (Hashtbl.fold
+           (fun _src (v, e) acc ->
+             let p = classify ~value:v ~evidence:e in
+             match acc with
+             | Some (p0, v0) when p0 > p || (p0 = p && v0 >= v) -> acc
+             | _ -> Some (p, v))
+           seen None)
+        [@simlint.allow "D2"]
       in
       let adopted = match best with Some (_, v) -> v | None -> value in
       (* Robust Backup(Paxos) with the adopted input. *)

@@ -1,0 +1,32 @@
+(** Transport abstraction.
+
+    Classic Paxos runs over the raw network; Robust Backup runs the
+    {e same} Paxos code over trusted channels (T-send/T-receive,
+    Algorithm 3).  Abstracting the transport is exactly the paper's
+    Definition 2: "the algorithm A in which all send and receive
+    operations are replaced by T-send and T-receive". *)
+
+module type S = sig
+  type t
+
+  val me : t -> int
+
+  val n : t -> int
+
+  val send : t -> dst:int -> string -> unit
+  (** Point-to-point send (dst may be [me]). *)
+
+  val broadcast : t -> string -> unit
+
+  val recv : t -> int * string
+  (** Blocking receive: [(sender, payload)]. *)
+
+  val recv_timeout : t -> float -> (int * string) option
+end
+
+(** The raw network transport. *)
+module Net : sig
+  include S
+
+  val make : ep:string Rdma_net.Network.endpoint -> n:int -> t
+end

@@ -189,16 +189,22 @@ let restart ?(rejoin = `Genesis) t =
   if not t.crashed then invalid_arg "Memory.restart: memory is not crashed";
   t.crashed <- false;
   t.epoch <- t.epoch + 1;
-  Hashtbl.iter
-    (fun reg (stamp, _) -> Hashtbl.replace t.store reg (stamp, None))
-    t.store;
+  (* Materialize the register list (sorted: simlint D2) before blanking:
+     Hashtbl.replace during Hashtbl.iter on the same table is
+     unspecified behaviour. *)
+  Hashtbl.fold (fun reg (stamp, _) acc -> (reg, stamp) :: acc) t.store []
+  |> List.sort compare
+  |> List.iter (fun (reg, stamp) -> Hashtbl.replace t.store reg (stamp, None));
   (match rejoin with
   | `Genesis ->
-      Hashtbl.iter
-        (fun _ r ->
-          r.perm <- r.genesis;
-          r.granted_epoch <- t.epoch)
-        t.regions
+      (* In-place field updates commute across regions, so the
+         hash-bucket visit order is unobservable. *)
+      (Hashtbl.iter
+         (fun _ r ->
+           r.perm <- r.genesis;
+           r.granted_epoch <- t.epoch)
+         t.regions)
+      [@simlint.allow "D2"]
   | `Quarantine -> ());
   Stats.bump t.stats "mem.restarts";
   emit t (Event.Mem_restart { mid = t.mid; epoch = t.epoch })

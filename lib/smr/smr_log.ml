@@ -703,7 +703,12 @@ let linearizable_read (ctx : _ Cluster.ctx) ~cfg ~seq ~timeout =
               | Some (Read_reply { client; seq = s; up_to }) when client = me && s = seq
                 ->
                   Some up_to
-              | _ -> await ())
+              | Some
+                  ( Read_reply _ (* another client's reply *)
+                  | Request _ | Ack _ | Commit _ | Read_request _ | Catch_up _
+                  | Snapshot _ )
+              | None ->
+                  await ())
       in
       await ()
     end
@@ -732,7 +737,12 @@ let submit (ctx : _ Cluster.ctx) ~cfg ~seq ~cmd ~timeout =
               match decode_msg payload with
               | Some (Ack { client; seq = s; index }) when client = me && s = seq ->
                   Some index
-              | _ -> await ())
+              | Some
+                  ( Ack _ (* another client's ack *)
+                  | Request _ | Commit _ | Read_request _ | Read_reply _
+                  | Catch_up _ | Snapshot _ )
+              | None ->
+                  await ())
       in
       await ()
     end

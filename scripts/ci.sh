@@ -13,6 +13,16 @@ dune build
 echo "== tests =="
 dune runtest
 
+echo "== simlint =="
+# Determinism & protocol-hygiene static analysis over the simulator and
+# CLI.  Zero findings is the contract: a nondeterminism primitive, an
+# unsorted hash-table traversal, a fragile wildcard in a protocol
+# handler, physical equality, or Obj.magic/Marshal fails CI here.
+# Suppressions ([@simlint.allow] / simlint.allow file) are reviewed in
+# the diff like any other code.
+dune build tools/simlint/simlint.exe
+dune exec tools/simlint/simlint.exe -- lib/ bin/
+
 echo "== telemetry smoke test =="
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT

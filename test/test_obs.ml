@@ -258,6 +258,36 @@ let test_identical_runs_identical_traces () =
   | Ok _ -> ()
   | Error msg -> Alcotest.failf "seed 8 trace invalid: %s" msg
 
+(* Two builds of the same report — metric names registered and samples
+   added in opposite orders, enough of them to force different Hashtbl
+   bucket layouts — must serialize identically.  This guards the same
+   invariant simlint rule D2 checks statically: exporter output order
+   (Obs.histograms/counters, Hist's bucket fold) never depends on
+   hash-table internals. *)
+let test_metric_order_invariant () =
+  let names = List.init 40 (fun i -> Printf.sprintf "metric.%02d" i) in
+  let samples = [ 1.0; 2.5; 7.0; 0.5; 2.5 ] in
+  let build ~rev =
+    let obs = Obs.create () in
+    let order = if rev then List.rev names else names in
+    List.iter
+      (fun name ->
+        let samples = if rev then List.rev samples else samples in
+        List.iter (Obs.observe obs ~cat:"m" name) samples;
+        Obs.count obs ("count." ^ name) (String.length name))
+      order;
+    obs
+  in
+  let a = build ~rev:false and b = build ~rev:true in
+  check string "metrics export byte-identical" (Export.metrics a)
+    (Export.metrics b);
+  check bool "summaries identical" true (Obs.summaries a = Obs.summaries b);
+  check bool "counters identical" true (Obs.counters a = Obs.counters b);
+  (* and the read-back order is the sorted one, not insertion order *)
+  let hist_names = List.map (fun (n, _, _) -> n) (Obs.histograms b) in
+  check bool "histograms sorted" true
+    (List.sort compare hist_names = hist_names)
+
 (* Stats.pp must print named counters in sorted order regardless of
    insertion order (Hashtbl iteration order is seed-dependent). *)
 let test_stats_pp_sorted () =
@@ -302,6 +332,8 @@ let suite =
       test_metrics_export_parses;
     Alcotest.test_case "same seed, byte-identical exports" `Quick
       test_identical_runs_identical_traces;
+    Alcotest.test_case "metric registration order never leaks" `Quick
+      test_metric_order_invariant;
     Alcotest.test_case "Stats.pp sorts named counters" `Quick
       test_stats_pp_sorted;
   ]

@@ -1,0 +1,3 @@
+(* Suppressed D1: expression-level and binding-level attributes. *)
+let wall () = (Unix.gettimeofday () [@simlint.allow "D1"])
+let roll () = Random.int 100 [@@simlint.allow "D1"]

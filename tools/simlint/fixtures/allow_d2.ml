@@ -1,0 +1,5 @@
+(* Suppressed D2: floating file-wide attribute. *)
+[@@@simlint.allow "D2"]
+
+let pairs tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+let dump tbl = Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) tbl

@@ -1,0 +1,6 @@
+(* Suppressed D3: pattern-level attribute on the wildcard arm. *)
+type msg = Ping | Pong
+
+let handle = function
+  | Ping -> 1
+  | (_ [@simlint.allow "D3"]) -> 0

@@ -1,0 +1,2 @@
+(* Suppressed D5: expression-level attribute. *)
+let cast x = (Obj.magic x [@simlint.allow "D5"])

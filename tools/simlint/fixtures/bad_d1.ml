@@ -1,0 +1,8 @@
+(* D1: ambient nondeterminism outside lib/sim — every line below fires. *)
+let roll () = Random.int 100
+let flip () = Random.bool ()
+let reseed () = Random.self_init ()
+let wall () = Unix.gettimeofday ()
+let epoch () = Unix.time ()
+let cpu () = Sys.time ()
+let heap () = Gc.quick_stat ()

@@ -1,0 +1,4 @@
+(* D2: hash-order traversals escaping unsorted — every line below fires. *)
+let pairs tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+let dump tbl = Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) tbl
+let first_class = Hashtbl.iter

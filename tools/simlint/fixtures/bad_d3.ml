@@ -1,0 +1,9 @@
+(* D3: wildcard arms in matches over protocol constructors. *)
+type msg = Ping | Pong | Data of string
+
+let handle = function
+  | Ping -> "ping"
+  | Data s -> s
+  | _ -> "?"
+
+let route m = match m with Pong -> 1 | _ -> 0

@@ -1,0 +1,3 @@
+(* D4: physical equality outside lib/sim — both lines fire. *)
+let same a b = a == b
+let diff a b = a != b

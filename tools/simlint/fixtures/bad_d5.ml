@@ -1,0 +1,3 @@
+(* D5: representation-level escapes — both lines fire. *)
+let cast x = Obj.magic x
+let save x = Marshal.to_string x []

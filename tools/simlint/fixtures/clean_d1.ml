@@ -1,0 +1,3 @@
+(* Clean: seeded Random.State threaded explicitly is the sanctioned RNG. *)
+let roll st = Random.State.int st 100
+let flip st = Random.State.bool st

@@ -1,0 +1,5 @@
+(* Clean: the traversal result feeds straight into a sort. *)
+let sorted tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+let direct tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+let stable tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.stable_sort compare
+let uniq tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort_uniq compare

@@ -1,0 +1,6 @@
+(* Clean: exhaustive protocol matches; wildcards over non-protocol types. *)
+type msg = Ping | Pong
+
+let handle = function Ping -> 1 | Pong -> 2
+let len = function [] -> 0 | _ -> 1
+let opt = function Some _ -> true | _ -> false

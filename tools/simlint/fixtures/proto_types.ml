@@ -1,0 +1,4 @@
+(* A protocol type by attribute (not named [msg]). *)
+type fault = Boom of int | Quake [@@simlint.protocol]
+
+let boom = Boom 1

@@ -1,0 +1,5 @@
+(* D3 via cross-module qualified constructor from an attributed type. *)
+let classify f =
+  match f with
+  | Proto_types.Boom _ -> "boom"
+  | _ -> "other"

@@ -1,0 +1,585 @@
+(* simlint: determinism & protocol-hygiene static analysis over the
+   repository's own sources.
+
+   Every guarantee the simulator sells — byte-identical traces per seed,
+   replayable chaos repro artifacts, deterministic recovery schedules —
+   rests on conventions no type checker enforces: no ambient randomness
+   or wall-clock time outside the engine, no hash-order-dependent output,
+   no protocol handler that silently swallows a newly added message or
+   fault constructor behind a [_] wildcard.  simlint walks the untyped
+   parsetree ([compiler-libs.common]'s [Parse] + [Ast_iterator]; no ppx
+   in the build loop) and machine-checks those conventions.
+
+   Rules (each individually toggleable):
+
+   - D1  banned nondeterminism primitives — global-state [Random.*]
+         ([self_init], [int], [bool], ...), [Unix.time]/[gettimeofday],
+         [Sys.time], and [Gc] queries — anywhere except [lib/sim].  The
+         engine owns the only RNG ([Random.State] threaded from the
+         seed) and the only clock (virtual time).
+   - D2  [Hashtbl.iter]/[Hashtbl.fold] whose result is not passed
+         directly through [List.sort]/[List.stable_sort]/[List.sort_uniq]:
+         hash-bucket order is an implementation detail and must never
+         reach a trace, report, or protocol decision unsorted.  (A
+         syntactic approximation: a fold that is provably
+         order-independent is suppressed with an attribute and a
+         one-line justification.)
+   - D3  a [_] wildcard arm in a [match]/[function] whose other arms
+         mention a protocol message/fault constructor, inside the
+         designated protocol-handler trees ([lib/core], [lib/smr],
+         [lib/chaos]).  Protocol types are variant declarations named
+         [msg] in those trees, plus any declaration carrying
+         [@@simlint.protocol].  Wildcards there mean a newly added
+         constructor is silently swallowed instead of forcing every
+         handler to be revisited.
+   - D4  physical equality [==]/[!=] outside [lib/sim].
+   - D5  [Obj.magic] / [Marshal.*] anywhere.
+
+   Suppression: attach [@simlint.allow "D2"] to the offending
+   expression, its pattern (for D3 arms), an enclosing [let] binding, or
+   file-wide via a floating [@@@simlint.allow "..."]; several rule ids
+   may share one payload string ("D2 D4").  Alternatively list
+   [RULE-ID path-fragment] lines in a checked-in [simlint.allow] file.
+   Unknown rule ids in payloads are ignored (forward compatibility). *)
+
+type rule = D1 | D2 | D3 | D4 | D5
+
+let all_rules = [ D1; D2; D3; D4; D5 ]
+
+let rule_id = function
+  | D1 -> "D1"
+  | D2 -> "D2"
+  | D3 -> "D3"
+  | D4 -> "D4"
+  | D5 -> "D5"
+
+let rule_of_id = function
+  | "D1" -> Some D1
+  | "D2" -> Some D2
+  | "D3" -> Some D3
+  | "D4" -> Some D4
+  | "D5" -> Some D5
+  | _ -> None
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : rule;
+  message : string;
+}
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d: [%s] %s" f.file f.line (rule_id f.rule) f.message
+
+type config = {
+  rules : rule list;  (** enabled rules *)
+  sim_dirs : string list;
+      (** path fragments naming the engine tree exempt from D1/D4 *)
+  proto_dirs : string list;  (** path fragments where D3 applies *)
+  allow : (rule * string) list;
+      (** file-level allowlist: (rule, path fragment) pairs *)
+}
+
+let default_config =
+  {
+    rules = all_rules;
+    sim_dirs = [ "lib/sim/" ];
+    proto_dirs = [ "lib/core/"; "lib/smr/"; "lib/chaos/" ];
+    allow = [];
+  }
+
+(* {2 Small utilities} *)
+
+let contains_fragment path frag =
+  let lp = String.length path and lf = String.length frag in
+  let rec go i = i + lf <= lp && (String.sub path i lf = frag || go (i + 1)) in
+  lf > 0 && go 0
+
+let in_dirs path dirs = List.exists (contains_fragment path) dirs
+
+(* "D2 D4" / "D2,D4" -> [D2; D4] *)
+let rules_of_payload s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter_map (fun tok -> rule_of_id (String.trim tok))
+
+let rec longident_flatten = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (t, s) -> longident_flatten t @ [ s ]
+  | Longident.Lapply (a, _) -> longident_flatten a
+
+(* Strip a [Stdlib.] qualifier so [Stdlib.Obj.magic] = [Obj.magic]. *)
+let strip_stdlib = function "Stdlib" :: rest -> rest | path -> path
+
+let module_of_path file =
+  Filename.basename file |> Filename.remove_extension
+  |> String.capitalize_ascii
+
+(* {2 Attribute handling} *)
+
+let allow_attr_name = "simlint.allow"
+
+let protocol_attr_name = "simlint.protocol"
+
+let string_of_payload = function
+  | Parsetree.PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+let allows_of_attributes attrs =
+  List.concat_map
+    (fun (a : Parsetree.attribute) ->
+      if a.attr_name.txt <> allow_attr_name then []
+      else
+        match string_of_payload a.attr_payload with
+        | Some s -> rules_of_payload s
+        | None -> [])
+    attrs
+
+let has_protocol_attr attrs =
+  List.exists
+    (fun (a : Parsetree.attribute) -> a.attr_name.txt = protocol_attr_name)
+    attrs
+
+(* {2 Parsing} *)
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      lexbuf.lex_curr_p <-
+        { pos_fname = path; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 };
+      Parse.implementation lexbuf)
+
+(* {2 Pass 1: harvest protocol constructors (for D3)}
+
+   A constructor is "protocol" when its variant declaration either is
+   named [msg] inside a designated protocol tree or carries
+   [@@simlint.protocol] anywhere.  Each harvested constructor remembers
+   its declaring module (derived from the file name) so a qualified
+   pattern [Paxos.Decide] only counts against Paxos's declaration and an
+   unqualified [Decide] only counts inside the declaring file — a
+   [Decide] constructor of some unrelated type in another module never
+   triggers D3 by name collision. *)
+
+type proto_ctor = { ctor : string; decl_module : string }
+
+let harvest_protocol_ctors cfg (files : (string * Parsetree.structure) list) =
+  let acc = ref [] in
+  let harvest_decl ~decl_module (td : Parsetree.type_declaration) ~in_proto =
+    let is_protocol =
+      has_protocol_attr td.ptype_attributes
+      || (in_proto && td.ptype_name.txt = "msg")
+    in
+    if is_protocol then
+      match td.ptype_kind with
+      | Ptype_variant ctors ->
+          List.iter
+            (fun (cd : Parsetree.constructor_declaration) ->
+              acc := { ctor = cd.pcd_name.txt; decl_module } :: !acc)
+            ctors
+      | _ -> ()
+  in
+  List.iter
+    (fun (path, ast) ->
+      let decl_module = module_of_path path in
+      let in_proto = in_dirs path cfg.proto_dirs in
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          type_declaration =
+            (fun it td ->
+              harvest_decl ~decl_module td ~in_proto;
+              Ast_iterator.default_iterator.type_declaration it td);
+        }
+      in
+      it.structure it ast)
+    files;
+  !acc
+
+(* {2 Pass 2: per-file checks} *)
+
+(* D1 — banned ambient-nondeterminism idents, by flattened path. *)
+let d1_banned path_components =
+  match path_components with
+  | [ "Random"; fn ] ->
+      if
+        List.mem fn
+          [
+            "self_init"; "init"; "int"; "int32"; "int64"; "nativeint";
+            "full_int"; "int_in_range"; "bool"; "float"; "bits"; "bits32";
+            "bits64"; "char"; "get_state"; "set_state";
+          ]
+      then
+        Some
+          (Printf.sprintf
+             "global-state Random.%s is unseeded nondeterminism; thread a \
+              seeded Random.State (Engine.rng) instead"
+             fn)
+      else None
+  | [ "Unix"; ("time" | "gettimeofday" as fn) ] ->
+      Some
+        (Printf.sprintf
+           "Unix.%s reads the wall clock; simulator code must use virtual \
+            time (Engine.now)"
+           fn)
+  | [ "Sys"; "time" ] ->
+      Some
+        "Sys.time reads the process clock; simulator code must use virtual \
+         time (Engine.now)"
+  | "Gc" :: _ :: _ ->
+      Some
+        "Gc queries leak allocator state into behaviour; nothing outside \
+         lib/sim may depend on them"
+  | _ -> None
+
+(* D2 — Hashtbl traversal idents. *)
+let is_hashtbl_traversal = function
+  | [ "Hashtbl"; ("iter" | "fold") ] -> true
+  | _ -> false
+
+let is_list_sort = function
+  | [ "List"; ("sort" | "stable_sort" | "sort_uniq") ] -> true
+  | _ -> false
+
+(* D5 *)
+let d5_banned path_components =
+  match path_components with
+  | [ "Obj"; "magic" ] ->
+      Some "Obj.magic defeats the type system and every determinism argument"
+  | "Marshal" :: _ :: _ ->
+      Some
+        "Marshal is representation-dependent (closures, sharing, hash \
+         seeds); use the typed codecs"
+  | _ -> None
+
+let head_ident (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (strip_stdlib (longident_flatten txt))
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+      Some (strip_stdlib (longident_flatten txt))
+  | _ -> None
+
+(* Top-level wildcard-ness of a match arm's pattern. *)
+let rec pattern_is_wildcard (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_any -> true
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> pattern_is_wildcard p
+  | Ppat_or (a, b) -> pattern_is_wildcard a || pattern_is_wildcard b
+  | _ -> false
+
+(* Does [p] mention a harvested protocol constructor anywhere?  An
+   unqualified constructor only counts in its declaring file; a
+   qualified one only under its declaring module's name. *)
+let pattern_mentions_proto ~ctors ~file_module (p : Parsetree.pattern) =
+  let found = ref false in
+  let check lid =
+    match List.rev (strip_stdlib (longident_flatten lid)) with
+    | [] -> ()
+    | [ c ] ->
+        if List.exists (fun pc -> pc.ctor = c && pc.decl_module = file_module) ctors
+        then found := true
+    | c :: m :: _ ->
+        if List.exists (fun pc -> pc.ctor = c && pc.decl_module = m) ctors then
+          found := true
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_construct ({ txt; _ }, _) -> check txt
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p);
+    }
+  in
+  it.pat it p;
+  !found
+
+let proto_ctor_names ~ctors ~file_module cases =
+  List.concat_map
+    (fun (c : Parsetree.case) ->
+      let names = ref [] in
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          pat =
+            (fun it p ->
+              (match p.ppat_desc with
+              | Ppat_construct ({ txt; _ }, _) -> (
+                  match List.rev (strip_stdlib (longident_flatten txt)) with
+                  | c :: rest
+                    when List.exists
+                           (fun pc ->
+                             pc.ctor = c
+                             &&
+                             match rest with
+                             | [] -> pc.decl_module = file_module
+                             | m :: _ -> pc.decl_module = m)
+                           ctors ->
+                      names := c :: !names
+                  | _ -> ())
+              | _ -> ());
+              Ast_iterator.default_iterator.pat it p);
+        }
+      in
+      it.pat it c.pc_lhs;
+      !names)
+    cases
+  |> List.sort_uniq compare
+
+let lint_file cfg ~ctors (path, (ast : Parsetree.structure)) =
+  let findings = ref [] in
+  let file_module = module_of_path path in
+  let in_sim = in_dirs path cfg.sim_dirs in
+  let in_proto = in_dirs path cfg.proto_dirs in
+  let enabled r = List.mem r cfg.rules in
+  (* Suppression state: a stack of attribute-granted rule sets plus a
+     file-wide set fed by floating [@@@simlint.allow] and the config's
+     allow list. *)
+  let allow_stack = ref [] in
+  let file_allows =
+    ref
+      (List.filter_map
+         (fun (r, frag) -> if contains_fragment path frag then Some r else None)
+         cfg.allow)
+  in
+  let allowed r =
+    List.mem r !file_allows || List.exists (List.mem r) !allow_stack
+  in
+  let report ~loc rule message =
+    if enabled rule && not (allowed rule) then
+      let pos = loc.Location.loc_start in
+      findings :=
+        {
+          file = path;
+          line = pos.pos_lnum;
+          col = pos.pos_cnum - pos.pos_bol;
+          rule;
+          message;
+        }
+        :: !findings
+  in
+  (* D2 bookkeeping: character offsets of traversal expressions that are
+     sanctioned (feed directly into a sort) or already reported at the
+     application node (so the head ident is not reported twice). *)
+  let sanctioned : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let consumed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let mark tbl (e : Parsetree.expression) =
+    Hashtbl.replace tbl e.pexp_loc.loc_start.pos_cnum ()
+  in
+  let marked tbl (e : Parsetree.expression) =
+    Hashtbl.mem tbl e.pexp_loc.loc_start.pos_cnum
+  in
+  let sanction_if_traversal (e : Parsetree.expression) =
+    match head_ident e with
+    | Some p when is_hashtbl_traversal p -> mark sanctioned e
+    | _ -> ()
+  in
+  let check_expr (e : Parsetree.expression) =
+    match e.pexp_desc with
+    (* Sanction [Hashtbl.fold ... |> List.sort ...] and
+       [List.sort cmp (Hashtbl.fold ...)]. *)
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Lident "|>"; _ }; _ },
+                  [ (_, lhs); (_, rhs) ]) -> (
+        match head_ident rhs with
+        | Some p when is_list_sort p -> sanction_if_traversal lhs
+        | _ -> ())
+    | Pexp_apply (f, args) -> (
+        (match head_ident f with
+        | Some p when is_list_sort p ->
+            List.iter (fun (_, a) -> sanction_if_traversal a) args
+        | _ -> ());
+        match f.pexp_desc with
+        | Pexp_ident { txt; _ } ->
+            let p = strip_stdlib (longident_flatten txt) in
+            if is_hashtbl_traversal p then begin
+              mark consumed f;
+              if not (marked sanctioned e) then
+                report ~loc:e.pexp_loc D2
+                  (Printf.sprintf
+                     "%s escapes in hash-bucket order; pipe the result \
+                      through List.sort before it leaves this expression, \
+                      or justify with [@simlint.allow \"D2\"]"
+                     (String.concat "." p))
+            end
+        | _ -> ())
+    | Pexp_ident { txt; _ } -> (
+        let p = strip_stdlib (longident_flatten txt) in
+        if is_hashtbl_traversal p && (not (marked consumed e))
+           && not (marked sanctioned e)
+        then
+          report ~loc:e.pexp_loc D2
+            (Printf.sprintf
+               "%s passed as a first-class value; its traversal order is \
+                hash-internal — sort at the use site or justify with \
+                [@simlint.allow \"D2\"]"
+               (String.concat "." p));
+        (match d1_banned p with
+        | Some msg when not in_sim -> report ~loc:e.pexp_loc D1 msg
+        | _ -> ());
+        (match p with
+        | [ ("==" | "!=") ] when not in_sim ->
+            report ~loc:e.pexp_loc D4
+              "physical equality compares addresses, not values; use \
+               structural (=)/(<>) outside lib/sim"
+        | _ -> ());
+        match d5_banned p with
+        | Some msg -> report ~loc:e.pexp_loc D5 msg
+        | None -> ())
+    | Pexp_match (_, cases) | Pexp_function cases ->
+        if in_proto && enabled D3 then begin
+          let mentions =
+            List.exists
+              (fun (c : Parsetree.case) ->
+                pattern_mentions_proto ~ctors ~file_module c.pc_lhs)
+              cases
+          in
+          if mentions then
+            List.iter
+              (fun (c : Parsetree.case) ->
+                if
+                  pattern_is_wildcard c.pc_lhs
+                  && not (List.mem D3 (allows_of_attributes c.pc_lhs.ppat_attributes))
+                then
+                  report ~loc:c.pc_lhs.ppat_loc D3
+                    (Printf.sprintf
+                       "wildcard arm in a match over protocol constructors \
+                        (%s): a newly added constructor is silently \
+                        swallowed here — list the remaining constructors \
+                        explicitly, or justify with [@simlint.allow \"D3\"]"
+                       (String.concat ", "
+                          (proto_ctor_names ~ctors ~file_module cases))))
+              cases
+        end
+    | _ -> ()
+  in
+  let with_allows pushed f =
+    match pushed with
+    | [] -> f ()
+    | _ ->
+        allow_stack := pushed :: !allow_stack;
+        f ();
+        allow_stack := List.tl !allow_stack
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          with_allows (allows_of_attributes e.pexp_attributes) (fun () ->
+              check_expr e;
+              Ast_iterator.default_iterator.expr it e));
+      value_binding =
+        (fun it vb ->
+          with_allows (allows_of_attributes vb.pvb_attributes) (fun () ->
+              Ast_iterator.default_iterator.value_binding it vb));
+      pat =
+        (fun it p ->
+          with_allows (allows_of_attributes p.ppat_attributes) (fun () ->
+              Ast_iterator.default_iterator.pat it p));
+      structure_item =
+        (fun it si ->
+          (match si.pstr_desc with
+          | Pstr_attribute a ->
+              if a.attr_name.txt = allow_attr_name then
+                Option.iter
+                  (fun s -> file_allows := rules_of_payload s @ !file_allows)
+                  (string_of_payload a.attr_payload)
+          | _ -> ());
+          Ast_iterator.default_iterator.structure_item it si);
+    }
+  in
+  it.structure it ast;
+  !findings
+
+(* {2 Entry points} *)
+
+let compare_findings a b =
+  compare (a.file, a.line, a.col, rule_id a.rule)
+    (b.file, b.line, b.col, rule_id b.rule)
+
+(* Lint already-parsed units (the fixture tests feed these). *)
+let lint_parsed cfg files =
+  let ctors = harvest_protocol_ctors cfg files in
+  List.concat_map (lint_file cfg ~ctors) files |> List.sort compare_findings
+
+exception Parse_error of string * string (* file, message *)
+
+let lint_files cfg paths =
+  let parsed =
+    List.map
+      (fun path ->
+        match parse_file path with
+        | ast -> (path, ast)
+        | exception exn ->
+            let msg =
+              match Location.error_of_exn exn with
+              | Some (`Ok report) ->
+                  Format.asprintf "%a" Location.print_report report
+              | _ -> Printexc.to_string exn
+            in
+            raise (Parse_error (path, msg)))
+      paths
+  in
+  lint_parsed cfg parsed
+
+(* Recursively collect .ml files under [roots] (files are taken as-is),
+   sorted so the scan order — and therefore the report order — never
+   depends on directory enumeration. *)
+let collect_ml_files roots =
+  let rec walk acc path =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list
+      |> List.filter (fun name -> name <> "_build" && name.[0] <> '.')
+      |> List.fold_left (fun acc name -> walk acc (Filename.concat path name)) acc
+    else if Filename.check_suffix path ".ml" then path :: acc
+    else acc
+  in
+  List.fold_left walk [] roots |> List.sort_uniq compare
+
+(* [simlint.allow]: one [RULE-ID path-fragment] per line, [#] comments. *)
+let load_allow_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line -> (
+            let line =
+              match String.index_opt line '#' with
+              | Some i -> String.sub line 0 i
+              | None -> line
+            in
+            match
+              String.split_on_char ' ' (String.trim line)
+              |> List.filter (fun s -> s <> "")
+            with
+            | [] -> go acc
+            | [ rid; frag ] -> (
+                match rule_of_id rid with
+                | Some r -> go ((r, frag) :: acc)
+                | None ->
+                    failwith
+                      (Printf.sprintf "%s: unknown rule id %S" path rid))
+            | _ ->
+                failwith
+                  (Printf.sprintf
+                     "%s: expected \"RULE-ID path-fragment\", got %S" path
+                     line))
+      in
+      go [])

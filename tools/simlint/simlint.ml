@@ -1,0 +1,73 @@
+(* simlint CLI.
+
+   Usage: dune exec tools/simlint/simlint.exe -- [options] lib/ bin/
+
+   Scans every .ml under the given roots, prints findings as
+   [file:line: [RULE-ID] message], and exits nonzero if any survive the
+   suppressions ([@simlint.allow] attributes and the [simlint.allow]
+   file, picked up from the current directory by default). *)
+
+let usage = "simlint [--rules D1,..] [--disable D1,..] [--allow-file F | --no-allow-file] PATH.."
+
+module Lint = Simlint_lib.Lint
+
+let () =
+  let roots = ref [] in
+  let only = ref None in
+  let disabled = ref [] in
+  let allow_file = ref (Some "simlint.allow") in
+  let parse_rule_list s =
+    String.split_on_char ',' s
+    |> List.map (fun tok ->
+           match Lint.rule_of_id (String.trim tok) with
+           | Some r -> r
+           | None ->
+               prerr_endline ("simlint: unknown rule id " ^ String.trim tok);
+               exit 2)
+  in
+  let spec =
+    [
+      ( "--rules",
+        Arg.String (fun s -> only := Some (parse_rule_list s)),
+        "IDS run only these comma-separated rules (default: all)" );
+      ( "--disable",
+        Arg.String (fun s -> disabled := parse_rule_list s @ !disabled),
+        "IDS disable these comma-separated rules" );
+      ( "--allow-file",
+        Arg.String (fun s -> allow_file := Some s),
+        "FILE read RULE-ID/path-fragment suppressions (default: ./simlint.allow)" );
+      ( "--no-allow-file",
+        Arg.Unit (fun () -> allow_file := None),
+        " ignore any simlint.allow file" );
+    ]
+  in
+  Arg.parse spec (fun p -> roots := p :: !roots) usage;
+  if !roots = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let allow =
+    match !allow_file with
+    | Some f when Sys.file_exists f -> Lint.load_allow_file f
+    | _ -> []
+  in
+  let rules =
+    let base = match !only with Some rs -> rs | None -> Lint.all_rules in
+    List.filter (fun r -> not (List.mem r !disabled)) base
+  in
+  let cfg = { Lint.default_config with rules; allow } in
+  let files = Lint.collect_ml_files (List.rev !roots) in
+  match Lint.lint_files cfg files with
+  | [] ->
+      Printf.printf "simlint: %d files clean (%s)\n" (List.length files)
+        (String.concat "," (List.map Lint.rule_id rules))
+  | findings ->
+      List.iter
+        (fun f -> Format.printf "%a@." Lint.pp_finding f)
+        findings;
+      Printf.eprintf "simlint: %d finding(s) in %d files\n"
+        (List.length findings) (List.length files);
+      exit 1
+  | exception Lint.Parse_error (file, msg) ->
+      Printf.eprintf "simlint: %s: parse error\n%s\n" file msg;
+      exit 2

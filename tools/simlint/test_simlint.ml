@@ -1,0 +1,132 @@
+(* simlint's own test suite: every rule fires exactly where the bad
+   fixtures say it does, stays quiet on the clean fixtures, and each
+   suppression mechanism ([@simlint.allow] on expressions, bindings and
+   patterns, floating [@@@simlint.allow], and the allow-file) actually
+   suppresses.  Findings are compared as (file, rule, line) triples so a
+   rule firing on the wrong line is a test failure, not a pass. *)
+
+module Lint = Simlint_lib.Lint
+
+let fixture name = Filename.concat "fixtures" name
+
+(* Fixtures play the role of the protocol-handler trees for D3; nothing
+   in them is exempt as engine code. *)
+let cfg = { Lint.default_config with proto_dirs = [ "fixtures" ]; sim_dirs = [] }
+
+let all_fixtures = Lint.collect_ml_files [ "fixtures" ]
+
+let summarize findings =
+  List.map
+    (fun f -> (Filename.basename f.Lint.file, Lint.rule_id f.Lint.rule, f.Lint.line))
+    findings
+
+let finding_t = Alcotest.(list (triple string string int))
+
+let lint ?(cfg = cfg) files = summarize (Lint.lint_files cfg files)
+
+(* One pass over the whole corpus, like the CI run over lib/ bin/: the
+   union of every expected firing, in (file, line) order, and nothing
+   else — in particular nothing from the clean_* and allow_* files. *)
+let test_corpus () =
+  Alcotest.check finding_t "whole fixture corpus"
+    [
+      ("bad_d1.ml", "D1", 2);
+      ("bad_d1.ml", "D1", 3);
+      ("bad_d1.ml", "D1", 4);
+      ("bad_d1.ml", "D1", 5);
+      ("bad_d1.ml", "D1", 6);
+      ("bad_d1.ml", "D1", 7);
+      ("bad_d1.ml", "D1", 8);
+      ("bad_d2.ml", "D2", 2);
+      ("bad_d2.ml", "D2", 3);
+      ("bad_d2.ml", "D2", 4);
+      ("bad_d3.ml", "D3", 7);
+      ("bad_d3.ml", "D3", 9);
+      ("bad_d4.ml", "D4", 2);
+      ("bad_d4.ml", "D4", 3);
+      ("bad_d5.ml", "D5", 2);
+      ("bad_d5.ml", "D5", 3);
+      ("uses_proto.ml", "D3", 5);
+    ]
+    (lint all_fixtures)
+
+(* lib/sim is exempt from D1/D4: the same bad files are clean when the
+   config classifies the fixture tree as the engine. *)
+let test_sim_exemption () =
+  let sim_cfg = { cfg with sim_dirs = [ "fixtures" ] } in
+  Alcotest.check finding_t "D1/D4 exempt under lib/sim" []
+    (lint ~cfg:sim_cfg [ fixture "bad_d1.ml"; fixture "bad_d4.ml" ])
+
+(* D3 only applies inside the designated protocol trees. *)
+let test_proto_scope () =
+  let no_proto = { cfg with proto_dirs = [ "lib/core/" ] } in
+  Alcotest.check finding_t "D3 silent outside protocol dirs" []
+    (lint ~cfg:no_proto
+       [ fixture "bad_d3.ml"; fixture "proto_types.ml"; fixture "uses_proto.ml" ])
+
+(* Each rule is individually toggleable. *)
+let test_rule_toggle () =
+  List.iter
+    (fun (rule, file) ->
+      let others = List.filter (fun r -> r <> rule) Lint.all_rules in
+      Alcotest.check finding_t
+        (Printf.sprintf "%s disabled on %s" (Lint.rule_id rule) file)
+        []
+        (lint ~cfg:{ cfg with rules = others }
+           [ fixture file; fixture "proto_types.ml" ]);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s alone still fires on %s" (Lint.rule_id rule) file)
+        true
+        (lint ~cfg:{ cfg with rules = [ rule ] }
+           [ fixture file; fixture "proto_types.ml" ]
+        <> []))
+    [
+      (Lint.D1, "bad_d1.ml");
+      (Lint.D2, "bad_d2.ml");
+      (Lint.D3, "bad_d3.ml");
+      (Lint.D4, "bad_d4.ml");
+      (Lint.D5, "bad_d5.ml");
+    ]
+
+(* The attribute-based suppressions: the allow_* twins of the bad_*
+   files carry the same banned code plus [@simlint.allow] and must be
+   silent (the bad_* twins prove the un-suppressed code fires). *)
+let test_attribute_suppression () =
+  Alcotest.check finding_t "attributes suppress D1/D2/D3/D5" []
+    (lint
+       [ fixture "allow_d1.ml"; fixture "allow_d2.ml"; fixture "allow_d3.ml";
+         fixture "allow_d5.ml" ])
+
+(* The checked-in allow-file format: rule id + path fragment. *)
+let test_allow_file () =
+  let allow = Lint.load_allow_file (fixture "test.allow") in
+  Alcotest.check finding_t "allow-file suppresses D4 by path" []
+    (lint ~cfg:{ cfg with allow } [ fixture "bad_d4.ml" ]);
+  Alcotest.check finding_t "allow-file is path-specific"
+    [ ("bad_d5.ml", "D5", 2); ("bad_d5.ml", "D5", 3) ]
+    (lint ~cfg:{ cfg with allow } [ fixture "bad_d5.ml" ])
+
+(* An unrelated allow id must not silence a different rule. *)
+let test_allow_is_rule_specific () =
+  let allow = [ (Lint.D1, "bad_d4.ml") ] in
+  Alcotest.check finding_t "D1 allow does not hide D4"
+    [ ("bad_d4.ml", "D4", 2); ("bad_d4.ml", "D4", 3) ]
+    (lint ~cfg:{ cfg with allow } [ fixture "bad_d4.ml" ])
+
+let () =
+  Alcotest.run "simlint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "corpus" `Quick test_corpus;
+          Alcotest.test_case "sim exemption" `Quick test_sim_exemption;
+          Alcotest.test_case "proto scope" `Quick test_proto_scope;
+          Alcotest.test_case "rule toggle" `Quick test_rule_toggle;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "attributes" `Quick test_attribute_suppression;
+          Alcotest.test_case "allow file" `Quick test_allow_file;
+          Alcotest.test_case "rule specific" `Quick test_allow_is_rule_specific;
+        ] );
+    ]
