@@ -1,875 +1,70 @@
-(* The experiment harness: regenerates every table- and figure-level
-   claim of "The Impact of RDMA on Agreement" (PODC 2019).
+(* Experiment-harness CLI: argument parsing only; the experiments and
+   the pooled suite driver live in the Experiments library.
 
-   The paper is a theory paper; its "evaluation" is the set of
-   resilience/delay claims of Table 1, Sections 4–6 and the introduction.
-   Each experiment below reruns the corresponding algorithms on the
-   simulated M&M substrate and prints paper-vs-measured.  EXPERIMENTS.md
-   records the outcomes.
+     dune exec bench/main.exe             # all experiments
+     dune exec bench/main.exe -- d2 m1    # a subset
+     dune exec bench/main.exe -- -j 4     # experiments across 4 domains
+     dune exec bench/main.exe -- bechamel # wall-clock microbenches *)
 
-     dune exec bench/main.exe            # all experiments
-     dune exec bench/main.exe -- d2 m1   # a subset
-     dune exec bench/main.exe -- bechamel# wall-clock microbenches *)
-
-open Rdma_consensus
-open Rdma_obs
-
-(* --trace-out/--metrics-out (for the o1 experiment), parsed from argv
-   before experiment selection. *)
-let trace_out = ref None
-
-let metrics_out = ref None
-
-let section id title =
-  Fmt.pr "@.==============================================================@.";
-  Fmt.pr "%s — %s@." (String.uppercase_ascii id) title;
-  Fmt.pr "==============================================================@."
-
-let inputs n = Array.init n (fun i -> Printf.sprintf "v%d" i)
-
-let fmt_delay = function Some t -> Printf.sprintf "%.1f" t | None -> "-"
-
-let check b = if b then "yes" else "NO!"
-
-(* ------------------------------------------------------------------ *)
-(* T1: Table 1 — fault-tolerance of Byzantine agreement                 *)
-(* ------------------------------------------------------------------ *)
-
-let exp_t1 () =
-  section "t1" "Table 1: Byzantine agreement resilience (paper row: async, \
-                signatures, RDMA non-equivocation, weak validity, 2f+1)";
-  Fmt.pr "Paper: weak Byzantine agreement with n = 2fP + 1 processes.@.";
-  Fmt.pr "We run Fast & Robust at the bound and below it.@.@.";
-  Fmt.pr "%-34s %-6s %-9s %-10s %-8s@." "scenario" "n" "byz f" "agreement"
-    "decided";
-  let row name n byzantine faults expect_decide =
-    let report, byz, _ =
-      Fast_robust.run ~n ~m:3 ~inputs:(inputs n) ~byzantine ~faults ()
-    in
-    let correct = n - List.length byzantine in
-    let decided = Report.decided_count report in
-    Fmt.pr "%-34s %-6d %-9d %-10s %d/%d %s@." name n (List.length byzantine)
-      (check (Report.agreement_ok ~ignore_pids:byz report))
-      decided correct
-      (if expect_decide then if decided >= correct then "(all correct)" else "(LIVENESS!)"
-       else if decided = 0 then "(stuck, as expected below the bound)"
-       else "(unexpected progress)")
-  in
-  row "n=3, f=1 silent Byzantine" 3
-    [ (2, fun _ -> ()) ]
-    [] true;
-  row "n=3, f=1 equivocating leader" 3
-    [ (0, Attacks.cq_equivocating_leader ~v1:"black" ~v2:"white") ]
-    [ Fault.Set_leader { pid = 1; at = 0.0 } ]
-    true;
-  row "n=5, f=2 mixed Byzantine" 5
-    [ (3, fun _ -> ()); (4, Attacks.pp_priority_liar ~value:"liar") ]
-    [] true;
-  (* Below the bound the backup quorum (a majority of n) exceeds the
-     number of correct processes, so a silent Byzantine leader leaves the
-     lone correct process stuck forever. *)
-  row "n=2, f=1 (below 2f+1: must stall)" 2
-    [ (0, Attacks.cq_silent_leader) ]
-    [ Fault.Set_leader { pid = 1; at = 0.0 } ]
-    false;
-  Fmt.pr "@.Shape to match: 2f+1 suffices with RDMA (vs 3f+1 for async \
-          message passing even with signatures).@."
-
-(* ------------------------------------------------------------------ *)
-(* D1: the 2-deciding Byzantine fast path (Theorem 4.9, Section 4.2)    *)
-(* ------------------------------------------------------------------ *)
-
-let exp_d1 () =
-  section "d1" "Fast & Robust: 2-deciding, one signature (Theorem 4.9)";
-  Fmt.pr "%-8s %-8s %-14s %-16s %-12s@." "n" "m" "first (delays)" "sigs@decide"
-    "agreement";
-  List.iter
-    (fun (n, m) ->
-      let report, _, cluster = Fast_robust.run ~n ~m ~inputs:(inputs n) () in
-      Fmt.pr "%-8d %-8d %-14s %-16d %-12s@." n m
-        (fmt_delay (Report.first_decision_time report))
-        (Rdma_sim.Stats.get (Rdma_mm.Cluster.stats cluster) "sigs_at_fast_decision")
-        (check (Report.agreement_ok report)))
-    [ (3, 3); (5, 3); (5, 5); (7, 3) ];
-  Fmt.pr "@.Paper: decides in 2 delays with 1 signature in common executions;@.";
-  Fmt.pr "best prior 2-delay BFT needed 6f+2 signatures and n >= 3f+1 [7].@.";
-  (* per-process decision latency: "some process decides in 2" — the
-     followers take the unanimity-proof route *)
-  let report, _, _ = Fast_robust.run ~n:3 ~m:3 ~inputs:(inputs 3) () in
-  Fmt.pr "@.Per-process decision times (n=3, m=3):@.";
-  Array.iteri
-    (fun pid d ->
-      match d with
-      | Some { Report.at; _ } ->
-          Fmt.pr "  p%d decided at %5.1f delays%s@." pid at
-            (if pid = 0 then "  (leader: the 2-delay fast path)"
-             else "  (follower: replicate, countersign, verify n proofs)")
-      | None -> ())
-    report.Report.decisions
-
-(* ------------------------------------------------------------------ *)
-(* D2: the crash-case trade-off table (Sections 1 and 5)                *)
-(* ------------------------------------------------------------------ *)
-
-let exp_d2 () =
-  section "d2" "Crash consensus: resilience vs delays (the paper's core trade-off)";
-  Fmt.pr "%-24s %-16s %-10s %-14s %-10s@." "algorithm" "processes" "memories"
-    "first (delays)" "decided";
-  let msg_row name run n =
-    let report = run ~n ~inputs:(inputs n) in
-    Fmt.pr "%-24s %-16s %-10s %-14s %-10s@." name
-      (Printf.sprintf "n=%d (>=2f+1)" n) "-"
-      (fmt_delay (Report.first_decision_time report))
-      (Printf.sprintf "%d/%d" (Report.decided_count report) n)
-  in
-  let mem_row name run n m proc_bound =
-    let report = run ~n ~m ~inputs:(inputs n) in
-    Fmt.pr "%-24s %-16s %-10s %-14s %-10s@." name
-      (Printf.sprintf "n=%d (>=%s)" n proc_bound)
-      (Printf.sprintf "m=%d" m)
-      (fmt_delay (Report.first_decision_time report))
-      (Printf.sprintf "%d/%d" (Report.decided_count report) n)
-  in
-  msg_row "Paxos" (fun ~n ~inputs -> Paxos.run ~n ~inputs ()) 3;
-  msg_row "Fast Paxos" (fun ~n ~inputs -> Fast_paxos.run ~n ~inputs ()) 3;
-  mem_row "Disk Paxos" (fun ~n ~m ~inputs -> Disk_paxos.run ~n ~m ~inputs ()) 2 3 "f+1";
-  mem_row "Protected Memory Paxos"
-    (fun ~n ~m ~inputs -> Protected_paxos.run ~n ~m ~inputs ())
-    2 3 "f+1";
-  mem_row "Aligned Paxos"
-    (fun ~n ~m ~inputs -> Aligned_paxos.run ~n ~m ~inputs ())
-    3 2 "maj(n+m)";
-  Fmt.pr "@.Shape to match (Section 1): Disk Paxos reaches n=f+1 but needs >=4@.";
-  Fmt.pr "delays; Fast Paxos reaches 2 delays but needs n>=2f+1; Protected@.";
-  Fmt.pr "Memory Paxos gets BOTH 2 delays AND n=f+1 via dynamic permissions.@.";
-  (* and the resilience crossover, demonstrated *)
-  Fmt.pr "@.Resilience at n = f+1 = 2 with one process crash:@.";
-  let crash0 = [ Fault.Crash_process { pid = 1; at = 0.0 } ] in
-  let pmp = Protected_paxos.run ~n:2 ~m:3 ~inputs:(inputs 2) ~faults:crash0 () in
-  Fmt.pr "  protected-paxos n=2, crash p1: survivor decides = %s@."
-    (check (Report.decided_count pmp = 1));
-  let px =
-    Paxos.run ~n:2 ~inputs:(inputs 2) ~faults:crash0 ()
-  in
-  Fmt.pr "  paxos           n=2, crash p1: stuck (needs majority) = %s@."
-    (check (Report.decided_count px = 0))
-
-(* ------------------------------------------------------------------ *)
-(* D3: Aligned Paxos — combined-agent majority (Section 5.2)            *)
-(* ------------------------------------------------------------------ *)
-
-let exp_d3 () =
-  section "d3" "Aligned Paxos: any minority of processes+memories may crash";
-  let n = 3 and m = 2 in
-  Fmt.pr "cluster: n=%d processes + m=%d memories = %d agents; majority = %d@." n m
-    (n + m)
-    (((n + m) / 2) + 1);
-  Fmt.pr "%-38s %-10s %-10s@." "killed agents" "decides" "verdict";
-  let agent_name a = if a < n then Printf.sprintf "p%d" a else Printf.sprintf "mu%d" (a - n) in
-  let kill agents expect =
-    let faults =
-      List.map
-        (fun a ->
-          if a < n then Fault.Crash_process { pid = a; at = 0.0 }
-          else Fault.Crash_memory { mid = a - n; at = 0.0 })
-        agents
-    in
-    let report = Aligned_paxos.run ~n ~m ~inputs:(inputs n) ~faults () in
-    let decided = Report.decided_count report > 0 in
-    Fmt.pr "%-38s %-10b %-10s@."
-      (String.concat ", " (List.map agent_name agents))
-      decided
-      (if decided = expect then "as expected" else "UNEXPECTED");
-  in
-  (* every 2-subset of the 5 agents: must still decide *)
-  for a = 0 to n + m - 1 do
-    for b = a + 1 to n + m - 1 do
-      (* skip killing every process (then nobody is left to decide) *)
-      kill [ a; b ] true
-    done
-  done;
-  (* one more than a minority: must block *)
-  kill [ 1; 2; 3 ] false;
-  kill [ 2; 3; 4 ] false;
-  Fmt.pr "@.Memory-agent ablation (footnote 4) — both modes solve consensus;@.";
-  Fmt.pr "permissions trade the phase-2 read-back for a permission grab:@.";
-  List.iter
-    (fun (label, cfg, n, m) ->
-      let r = Aligned_paxos.run ~cfg ~n ~m ~inputs:(inputs n) () in
-      Fmt.pr "  %-34s n=%d m=%d  first decision %s delays@." label n m
-        (fmt_delay (Report.first_decision_time r)))
-    [
-      ("with permissions", Aligned_paxos.default_config, 3, 2);
-      ( "disk-style (no permissions)",
-        { Aligned_paxos.default_config with mode = Aligned_paxos.Disk },
-        3, 2 );
-      (* with n=2, m=3 the memories are needed for the majority, so the
-         memory path is on the critical path and the modes differ *)
-      ("with permissions, memory-bound", Aligned_paxos.default_config, 2, 3);
-      ( "disk-style, memory-bound",
-        { Aligned_paxos.default_config with mode = Aligned_paxos.Disk },
-        2, 3 );
-    ]
-
-(* ------------------------------------------------------------------ *)
-(* D4: the slow path — Robust Backup & non-equivocating broadcast       *)
-(* ------------------------------------------------------------------ *)
-
-let exp_d4 () =
-  section "d4" "The slow path: Robust Backup delay; NEB latency (footnote 2)";
-  let n = 3 and m = 3 in
-  let report, _ = Robust_backup.run ~n ~m ~inputs:(inputs n) () in
-  Fmt.pr "Robust Backup alone (n=%d, m=%d): first decision at %s delays@." n m
-    (fmt_delay (Report.first_decision_time report));
-  Fmt.pr "  history burden of the Clement et al. transform:@.";
-  Fmt.pr "    longest attached history: %d entries; largest payload: %d bytes@."
-    (Report.named report "trusted.max_history_entries")
-    (Report.named report "trusted.max_payload_bytes");
-  let fr, _, _ = Fast_robust.run ~n ~m ~inputs:(inputs n) () in
-  Fmt.pr "Fast & Robust fast path:          first decision at %s delays@."
-    (fmt_delay (Report.first_decision_time fr));
-  (* NEB broadcast-to-delivery latency *)
-  let open Rdma_mm in
-  let open Rdma_sim in
-  let cluster : string Cluster.t = Cluster.create ~n ~m () in
-  let neb_cfg = { Neb.default_config with give_up_at = 200.0; poll_interval = 1.0 } in
-  Neb.setup_regions cluster ~max_seq:neb_cfg.Neb.max_seq ();
-  let delivered_at = Array.make n nan in
-  for pid = 0 to n - 1 do
-    Cluster.spawn cluster ~pid (fun ctx ->
-        let neb =
-          Neb.create ctx ~cfg:neb_cfg
-            ~deliver:(fun ~k:_ ~msg:_ ~src ->
-              if src = 0 then delivered_at.(pid) <- Engine.now ctx.Cluster.ctx_engine)
-            ()
-        in
-        Neb.spawn_poller ctx neb;
-        if pid = 0 then Neb.broadcast neb "payload")
-  done;
-  Cluster.run cluster;
-  Fmt.pr "@.Non-equivocating broadcast delivery times (broadcast at t=0):@.";
-  Array.iteri (fun pid t -> Fmt.pr "  p%d delivered at %.1f delays@." pid t) delivered_at;
-  Fmt.pr "Paper (footnote 2): non-equivocating broadcast costs at least 6 delays,@.";
-  Fmt.pr "which is why Clement et al. alone cannot give a 2-deciding algorithm.@."
-
-(* ------------------------------------------------------------------ *)
-(* D5: repeated consensus — "the leader terminates one instance and     *)
-(* becomes the default leader in the next" (Section 5.1)                *)
-(* ------------------------------------------------------------------ *)
-
-let exp_d5 () =
-  section "d5" "Repeated Protected Memory Paxos: two delays per decision";
-  let n = 3 and m = 3 and slots = 6 in
-  let cfg = { Protected_paxos_multi.default_config with slots } in
-  let input_for ~pid ~instance = Printf.sprintf "cmd%d.%d" pid instance in
-  let reports = Protected_paxos_multi.run ~cfg ~n ~m ~input_for () in
-  Fmt.pr "%-10s %-16s %-14s@." "instance" "first (delays)" "delta";
-  let prev = ref 0.0 in
-  Array.iteri
-    (fun i report ->
-      match Report.first_decision_time report with
-      | Some t ->
-          Fmt.pr "%-10d %-16.1f %-14.1f@." i t (t -. !prev);
-          prev := t
-      | None -> Fmt.pr "%-10d %-16s@." i "-")
-    reports;
-  Fmt.pr "@.Steady state: every instance costs exactly one replicated write@.";
-  Fmt.pr "(2 delays) because the leader retains the write permission.@.";
-  (* and across a leader crash *)
-  let faults = [ Fault.Crash_process { pid = 0; at = 4.5 } ] in
-  let reports = Protected_paxos_multi.run ~cfg ~n ~m ~input_for ~faults () in
-  let ok = Array.for_all Report.agreement_ok reports in
-  Fmt.pr "With a leader crash at t=4.5: per-instance agreement across the@.";
-  Fmt.pr "takeover = %s; instances decided before the crash keep their values.@."
-    (check ok)
-
-(* ------------------------------------------------------------------ *)
-(* D6: a BFT log from Fast & Robust per slot                            *)
-(* ------------------------------------------------------------------ *)
-
-let exp_d6 () =
-  section "d6" "BFT log: Fast & Robust per slot, pipelined 2-delay appends";
-  let n = 3 and m = 3 in
-  let input_for ~pid ~slot = Printf.sprintf "cmd%d.%d" pid slot in
-  let cfg = { Rdma_smr.Bft_log.default_config with slots = 4 } in
-  let reports, _ = Rdma_smr.Bft_log.run ~cfg ~n ~m ~input_for () in
-  Fmt.pr "%-8s %-18s %-12s %-10s@." "slot" "appended (delays)" "agreement" "decided";
-  Array.iteri
-    (fun i report ->
-      Fmt.pr "%-8d %-18s %-12s %d/%d@." i
-        (fmt_delay (Report.first_decision_time report))
-        (check (Report.agreement_ok report))
-        (Report.decided_count report) n)
-    reports;
-  Fmt.pr "@.Each slot is one weak-Byzantine-agreement instance (Theorem 4.9) in@.";
-  Fmt.pr "its own namespace; the honest leader appends with one signature and@.";
-  Fmt.pr "one replicated write per slot.  Under a Byzantine leader every slot@.";
-  Fmt.pr "falls back to Preferential Paxos and correct replicas still agree:@.";
-  let base =
-    { Fast_robust.default_config with
-      cheap_quorum = { Cheap_quorum.default_config with fast_timeout = 30.0 } }
-  in
-  let byz_cfg = { Rdma_smr.Bft_log.slots = 2; base } in
-  let byzantine = [ (0, fun _ -> ()) ] in
-  let faults = [ Fault.Set_leader { pid = 1; at = 0.0 } ] in
-  let reports, byz =
-    Rdma_smr.Bft_log.run ~cfg:byz_cfg ~n ~m ~input_for ~byzantine ~faults ()
-  in
-  Array.iteri
-    (fun i report ->
-      Fmt.pr "  slot %d: decided %s at %s delays, agreement %s@." i
-        (match Report.decision_value report with Some v -> v | None -> "-")
-        (fmt_delay (Report.first_decision_time report))
-        (check (Report.agreement_ok ~ignore_pids:byz report)))
-    reports
-
-(* ------------------------------------------------------------------ *)
-(* D7: the SMR application layer — append latency and failover downtime *)
-(* ------------------------------------------------------------------ *)
-
-let exp_d7 () =
-  section "d7" "Replicated log (Mu-style SMR): append latency and failover downtime";
-  let open Rdma_mm in
-  let open Rdma_smr in
-  let cfg =
-    { Smr_log.default_config with replicas = 3; max_entries = 32; serve_until = 600.0 }
-  in
-  let crash_at = 10.0 in
-  let cluster : string Cluster.t =
-    Cluster.create ~legal_change:(Smr_log.legal_change cfg)
-      ~n:(cfg.Smr_log.replicas + 1) ~m:3 ()
-  in
-  Smr_log.setup_regions cluster cfg;
-  let replicas =
-    Array.init cfg.Smr_log.replicas (fun pid -> Smr_log.spawn_replica cluster ~cfg ~pid ())
-  in
-  let commits = ref [] in
-  Cluster.spawn cluster ~pid:3 (fun ctx ->
-      let rec loop seq =
-        if seq < 12 then begin
-          let cmd = Printf.sprintf "cmd%d" seq in
-          match Smr_log.submit ctx ~cfg ~seq ~cmd ~timeout:200.0 with
-          | Some index ->
-              commits :=
-                (index, Rdma_sim.Engine.now ctx.Cluster.ctx_engine) :: !commits;
-              loop (seq + 1)
-          | None -> loop (seq + 1)
-        end
-      in
-      loop 0);
-  Cluster.crash_process_at cluster ~at:crash_at 0;
-  Cluster.run cluster;
-  let commits = List.rev !commits in
-  Fmt.pr "client-observed commit times (leader crash at t=%.0f):@." crash_at;
-  let prev = ref 0.0 in
-  List.iter
-    (fun (index, at) ->
-      Fmt.pr "  index %-3d committed at %6.1f  (+%.1f)%s@." index at (at -. !prev)
-        (if !prev <= crash_at && at > crash_at then "   <- failover gap" else "");
-      prev := at)
-    commits;
-  (match
-     List.partition (fun (_, at) -> at <= crash_at) commits
-   with
-  | (_ :: _ as before), (_, first_after) :: _ ->
-      let _, last_before = List.nth before (List.length before - 1) in
-      Fmt.pr "@.steady-state append RTT: 4 delays (send 1 + replicated write 2 + ack 1)@.";
-      Fmt.pr "failover downtime: %.1f delays (detection + permission grab + log read/rewrite)@."
-        (first_after -. last_before)
-  | _ -> ());
-  ignore replicas
-
-(* ------------------------------------------------------------------ *)
-(* A1: ablations of the design choices (DESIGN.md section 4)            *)
-(* ------------------------------------------------------------------ *)
-
-let exp_a1 () =
-  section "a1" "Ablations: what each mechanism buys";
-  (* 1. history validation in Robust Backup *)
-  Fmt.pr "1. Clement et al. history validation (Robust Backup):@.";
-  let attack = [ (1, Attacks.rb_spurious_decide ~value:"evil") ] in
-  let with_v, _ = Robust_backup.run ~n:3 ~m:3 ~inputs:(inputs 3) ~byzantine:attack () in
-  let cfg_off = { Robust_backup.default_config with validate = false } in
-  let without_v, _ =
-    Robust_backup.run ~cfg:cfg_off ~n:3 ~m:3 ~inputs:(inputs 3) ~byzantine:attack ()
-  in
-  Fmt.pr "   spurious Decide attack, validator ON : decided %s (evil rejected: %s)@."
-    (match Report.decision_value with_v with Some v -> v | None -> "-")
-    (check (Report.decision_value with_v <> Some "evil"));
-  Fmt.pr "   spurious Decide attack, validator OFF: decided %s (attack lands)@."
-    (match Report.decision_value without_v with Some v -> v | None -> "-");
-  (* 2. Cheap Quorum timeout sensitivity *)
-  Fmt.pr "@.2. Cheap Quorum fast timeout vs decision latency under a silent leader:@.";
-  List.iter
-    (fun fast_timeout ->
-      let cq = { Cheap_quorum.default_config with fast_timeout } in
-      let cfg = { Fast_robust.default_config with cheap_quorum = cq } in
-      let byzantine = [ (0, Attacks.cq_silent_leader) ] in
-      let faults = [ Fault.Set_leader { pid = 1; at = 0.0 } ] in
-      let report, _, _ =
-        Fast_robust.run ~cfg ~n:3 ~m:3 ~inputs:(inputs 3) ~byzantine ~faults ()
-      in
-      Fmt.pr "   timeout=%5.0f -> first correct decision at %s delays@." fast_timeout
-        (fmt_delay (Report.first_decision_time report)))
-    [ 20.0; 60.0; 120.0 ];
-  Fmt.pr "   (the timeout bounds the fast path's failure detection; the paper's@.";
-  Fmt.pr "   footnote 3 assumes it covers common-case delays)@.";
-  (* 3. NEB poll cadence vs slow-path latency *)
-  Fmt.pr "@.3. NEB poll interval vs Robust Backup decision time:@.";
-  List.iter
-    (fun poll_interval ->
-      let cfg =
-        { Robust_backup.default_config with
-          trusted =
-            { Trusted.neb =
-                { Neb.ns = ""; max_seq = 128; poll_interval; give_up_at = 4000.0 } } }
-      in
-      let report, _ = Robust_backup.run ~cfg ~n:3 ~m:3 ~inputs:(inputs 3) () in
-      Fmt.pr "   poll=%4.1f -> first decision at %s delays (%d memory ops)@."
-        poll_interval
-        (fmt_delay (Report.first_decision_time report))
-        report.Report.mem_ops)
-    [ 0.5; 1.0; 2.0; 4.0 ]
-
-(* ------------------------------------------------------------------ *)
-(* L1: Theorem 6.1 — dynamic permissions are necessary                  *)
-(* ------------------------------------------------------------------ *)
-
-let exp_l1 () =
-  section "l1" "Theorem 6.1: no 2-deciding consensus from static-permission memory";
-  let s = Two_delay_probe.run_synchronous () in
-  Fmt.pr "optimistic candidate, common case:      decides at %.1f delays, \
-          agreement %s@."
-    s.Two_delay_probe.first_decision_at
-    (check (not s.Two_delay_probe.agreement_violated));
-  let a = Two_delay_probe.run_adversarial () in
-  Fmt.pr "same candidate, Theorem 6.1 schedule:   agreement violated = %b@."
-    a.Two_delay_probe.agreement_violated;
-  List.iter
-    (fun (pid, v, t) -> Fmt.pr "    p%d decided %S at %.1f@." pid v t)
-    a.Two_delay_probe.decisions;
-  let r = Two_delay_probe.run_adversarial_with_revocation () in
-  Fmt.pr "with dynamic-permission revocation:     agreement violated = %b@."
-    r.Two_delay_probe.agreement_violated;
-  (* Disk Paxos (static permissions) can never be 2-deciding *)
-  let times =
-    List.map
-      (fun seed ->
-        Report.first_decision_time (Disk_paxos.run ~seed ~n:3 ~m:3 ~inputs:(inputs 3) ()))
-      [ 1; 2; 3; 4; 5 ]
-  in
-  Fmt.pr "Disk Paxos (static perms) first-decision times over 5 seeds: %a@."
-    Fmt.(list ~sep:(any ", ") (option ~none:(any "-") (fmt "%.1f")))
-    times;
-  Fmt.pr "All >= 4.0, consistent with the lower bound.@."
-
-(* ------------------------------------------------------------------ *)
-(* F1: Figure 1 — the model itself                                      *)
-(* ------------------------------------------------------------------ *)
-
-let exp_f1 () =
-  section "f1" "Figure 1: the M&M model with permissions (self-check)";
-  let open Rdma_sim in
-  let open Rdma_mem in
-  let engine = Engine.create () in
-  let stats = Stats.create () in
-  let mem = Memory.create ~engine ~stats ~mid:0 () in
-  Memory.add_region mem ~name:"mr1" ~perm:(Permission.swmr ~writer:0 ~n:3)
-    ~registers:[ "r1"; "r2" ];
-  Memory.add_region mem
-    ~name:"mr2"
-    ~perm:(Permission.make ~read:[ 1 ] ~write:[ 2 ] ())
-    ~registers:[ "r3" ];
-  Fmt.pr "memory 0 regions:@.";
-  List.iter
-    (fun name ->
-      match Memory.region_perm mem name with
-      | Some p -> Fmt.pr "  %-6s %a@." name Permission.pp p
-      | None -> ())
-    (Memory.region_names mem);
-  ignore
-    (Engine.spawn engine "probe" (fun () ->
-         let w_ok = Ivar.await (Memory.write_async mem ~from:0 ~region:"mr1" ~reg:"r1" "x") in
-         let w_bad = Ivar.await (Memory.write_async mem ~from:1 ~region:"mr1" ~reg:"r1" "y") in
-         let r_ok = Ivar.await (Memory.read_async mem ~from:2 ~region:"mr1" ~reg:"r1") in
-         let r_bad = Ivar.await (Memory.read_async mem ~from:0 ~region:"mr2" ~reg:"r3") in
-         Fmt.pr "  owner write -> %s | intruder write -> %s@."
-           (if w_ok = Memory.Ack then "ack" else "nak")
-           (if w_bad = Memory.Ack then "ack" else "nak");
-         Fmt.pr "  reader read -> %s | out-of-R read -> %s@."
-           (match r_ok with Memory.Read _ -> "ack" | _ -> "nak")
-           (match r_bad with Memory.Read _ -> "ack" | _ -> "nak")));
-  Engine.run engine;
-  Fmt.pr "Operation timing: message = 1 delay; memory op = 2 delays (both checked@.";
-  Fmt.pr "in the unit tests); permissions enforced at the memory, not the caller.@."
-
-(* ------------------------------------------------------------------ *)
-(* F6: Figure 6 — component interactions of Fast & Robust               *)
-(* ------------------------------------------------------------------ *)
-
-let exp_f6 () =
-  section "f6" "Figure 6: Cheap Quorum -> (abort values) -> Preferential Paxos";
-  let n = 3 and m = 3 in
-  (* force the fast path to abort: the leader stays silent *)
-  let byzantine = [ (0, Attacks.cq_silent_leader) ] in
-  let faults = [ Fault.Set_leader { pid = 1; at = 0.0 } ] in
-  let cq_cfg = { Cheap_quorum.default_config with fast_timeout = 40.0 } in
-  let cfg = { Fast_robust.default_config with cheap_quorum = cq_cfg } in
-  let report, byz, cluster =
-    Fast_robust.run ~cfg ~n ~m ~inputs:(inputs n) ~byzantine ~faults ()
-  in
-  Fmt.pr "Component hand-off events (the arrows of Figure 6):@.";
-  List.iter
-    (fun e ->
-      if
-        String.length e.Rdma_sim.Trace.label >= 12
-        && String.sub e.Rdma_sim.Trace.label 0 12 = "cheap-quorum"
-      then Fmt.pr "  %a@." Rdma_sim.Trace.pp_event e)
-    (Rdma_sim.Trace.events (Rdma_mm.Cluster.trace cluster));
-  Fmt.pr "@.Final decisions (via the backup path):@.";
-  Array.iteri
-    (fun pid d ->
-      match d with
-      | Some { Report.value; at } -> Fmt.pr "  p%d decided %S at %.1f@." pid value at
-      | None -> Fmt.pr "  p%d: no decision%s@." pid (if List.mem pid byz then " (Byzantine)" else ""))
-    report.Report.decisions;
-  Fmt.pr "agreement among correct: %s@."
-    (check (Report.agreement_ok ~ignore_pids:byz report))
-
-(* ------------------------------------------------------------------ *)
-(* M1: memory-crash tolerance sweep (m >= 2fM + 1)                      *)
-(* ------------------------------------------------------------------ *)
-
-let exp_m1 () =
-  section "m1" "Memory failures: every algorithm tolerates fM < m/2 crashed memories";
-  Fmt.pr "m = 5 memories; crash the first k at t=0.@.";
-  Fmt.pr "%-24s %-10s %-10s %-10s %-14s@." "algorithm" "k=0" "k=1" "k=2"
-    "k=3 (majority)";
-  let sweep name run =
-    let result k =
-      let faults = List.init k (fun mid -> Fault.Crash_memory { mid; at = 0.0 }) in
-      let report = run ~faults in
-      if Report.decided_count report > 0 then
-        Printf.sprintf "%s" (fmt_delay (Report.first_decision_time report))
-      else "stuck"
-    in
-    Fmt.pr "%-24s %-10s %-10s %-10s %-14s@." name (result 0) (result 1) (result 2)
-      (result 3)
-  in
-  sweep "Protected Memory Paxos" (fun ~faults ->
-      Protected_paxos.run ~n:2 ~m:5 ~inputs:(inputs 2) ~faults ());
-  sweep "Disk Paxos" (fun ~faults -> Disk_paxos.run ~n:2 ~m:5 ~inputs:(inputs 2) ~faults ());
-  sweep "Fast & Robust" (fun ~faults ->
-      let r, _, _ = Fast_robust.run ~n:3 ~m:5 ~inputs:(inputs 3) ~faults () in
-      r);
-  sweep "Robust Backup" (fun ~faults ->
-      fst (Robust_backup.run ~n:3 ~m:5 ~inputs:(inputs 3) ~faults ()));
-  Fmt.pr "@.(Aligned Paxos counts memories as agents — it may even survive a@.";
-  Fmt.pr "memory majority if enough processes survive; see D3.)@.";
-  let faults = List.init 3 (fun mid -> Fault.Crash_memory { mid; at = 0.0 }) in
-  let r = Aligned_paxos.run ~n:5 ~m:5 ~inputs:(inputs 5) ~faults () in
-  Fmt.pr "Aligned Paxos n=5, m=5, 3 memories crashed (7/10 agents alive): %s@."
-    (if Report.decided_count r > 0 then "decides" else "stuck")
-
-(* ------------------------------------------------------------------ *)
-(* O1: the telemetry subsystem itself — per-phase latency breakdown     *)
-(* ------------------------------------------------------------------ *)
-
-let exp_o1 () =
-  section "o1" "Observability: per-phase latency percentiles and trace export";
-  let n = 3 and m = 3 in
-  let row name run =
-    let captured = ref None in
-    let prepare cluster =
-      captured := Some cluster;
-      if !trace_out <> None then
-        Obs.set_recording (Rdma_mm.Cluster.obs cluster) true
-    in
-    let report = run ~prepare in
-    Fmt.pr "@.%s (n=%d, m=%d), first decision %s delays:@." name n m
-      (fmt_delay (Report.first_decision_time report));
-    Fmt.pr "%a@." Report.pp_phases report;
-    !captured
-  in
-  let (_ : _ option) =
-    row "Paxos" (fun ~prepare -> Paxos.run ~n ~inputs:(inputs n) ~prepare ())
-  in
-  let (_ : _ option) =
-    row "Fast & Robust" (fun ~prepare ->
-        let r, _, _ = Fast_robust.run ~n ~m ~inputs:(inputs n) ~prepare () in
-        r)
-  in
-  let captured =
-    row "Protected Memory Paxos" (fun ~prepare ->
-        Protected_paxos.run ~n ~m ~inputs:(inputs n) ~prepare ())
-  in
-  match captured with
-  | None -> ()
-  | Some cluster ->
-      let obs = Rdma_mm.Cluster.obs cluster in
-      Option.iter
-        (fun file ->
-          Export.write_trace obs ~file;
-          Fmt.pr "@.trace (protected-paxos run) written to %s (%d entries)@."
-            file (Obs.entry_count obs))
-        !trace_out;
-      Option.iter
-        (fun file ->
-          Export.write_metrics obs ~file;
-          Fmt.pr "metrics (protected-paxos run) written to %s@." file)
-        !metrics_out
-
-(* ------------------------------------------------------------------ *)
-(* C1: chaos exploration — violation rates across the registry          *)
-(* ------------------------------------------------------------------ *)
-
-let exp_c1 () =
-  section "c1"
-    "Chaos: seeded nemesis schedules vs the invariant oracle, all scenarios";
-  let open Rdma_chaos in
-  Fmt.pr
-    "@.%d schedules per scenario (seed base 1), nemesis within each fault \
-     model; Byzantine scenarios also draw attacks and arm phase-boundary \
-     triggers:@.@."
-    100;
-  Fmt.pr "%-18s %-10s %-6s %-10s %-12s@." "scenario" "schedules" "ok"
-    "violations" "mode";
-  List.iter
-    (fun scenario ->
-      let byz = scenario.Scenario.attack_pool <> [] in
-      let options =
-        { Explore.default_options with runs = 100; seed = 1; adversary = true; byz }
-      in
-      let batch = Explore.explore ~options scenario in
-      Fmt.pr "%-18s %-10d %-6d %-10d %-12s@." scenario.Scenario.name
-        (Explore.total batch) batch.Explore.passed
-        (List.length batch.Explore.failures)
-        (if byz then "byz+trigger" else "trigger"))
-    Scenario.all;
-  (* The shrinker, demonstrated: unleash the budget past Paxos's fault
-     model (majority crashes become possible) and minimize the first
-     violating schedule. *)
-  let paxos = Option.get (Scenario.find "paxos") in
-  let options =
-    { Explore.default_options with runs = 10; seed = 1; over_budget = true }
-  in
-  let batch = Explore.explore ~options paxos in
-  match batch.Explore.failures with
-  | [] -> Fmt.pr "@.over-budget paxos: no violation in 10 schedules (unexpected)@."
-  | f :: _ ->
-      Fmt.pr
-        "@.over-budget paxos seed %d: %d-fault schedule shrunk to %d faults (%d \
-         probe runs):@."
-        f.Explore.outcome.Scenario.case.Nemesis.case_seed
-        (List.length f.Explore.outcome.Scenario.case.Nemesis.faults)
-        (List.length f.Explore.repro.Repro.faults)
-        f.Explore.shrink_probes;
-      Fmt.pr "  %a@." Fmt.(list ~sep:(any ", ") Fault.pp) f.Explore.repro.Repro.faults;
-      List.iter
-        (fun v -> Fmt.pr "  violation: %s@." v)
-        f.Explore.repro.Repro.violations
-
-(* ------------------------------------------------------------------ *)
-(* R1: recovery — memory rejoin and state-transfer latency (SMR log)    *)
-(* ------------------------------------------------------------------ *)
-
-let exp_r1 () =
-  section "r1" "Recovery: crashed-memory rejoin and state-transfer latency (SMR log)";
-  let open Rdma_mm in
-  let open Rdma_smr in
-  Fmt.pr "A replica memory crashes at t=20 and rejoins EMPTY at t=40 under a@.";
-  Fmt.pr "fresh epoch; the leader detects the rejoin and re-replicates@.";
-  Fmt.pr "(checkpoint + live entries).  Repair latency is measured from the@.";
-  Fmt.pr "Mem_restart telemetry event to the smr.repair event.@.@.";
-  Fmt.pr "%-18s %-9s %-7s %-16s %-12s@." "checkpoint_every" "commits" "ckpts"
-    "repair (delays)" "fully fresh";
-  List.iter
-    (fun checkpoint_every ->
-      let cfg =
-        { Smr_log.default_config with
-          replicas = 3; max_entries = 32; serve_until = 300.0; checkpoint_every }
-      in
-      let cluster : string Cluster.t =
-        Cluster.create ~legal_change:(Smr_log.legal_change cfg)
-          ~n:(cfg.Smr_log.replicas + 1) ~m:3 ()
-      in
-      Smr_log.setup_regions cluster cfg;
-      let replicas =
-        Array.init cfg.Smr_log.replicas (fun pid ->
-            Smr_log.spawn_replica cluster ~cfg ~pid ())
-      in
-      Cluster.spawn cluster ~pid:3 (fun ctx ->
-          for seq = 0 to 11 do
-            ignore
-              (Smr_log.submit ctx ~cfg ~seq
-                 ~cmd:(Printf.sprintf "cmd%d" seq)
-                 ~timeout:200.0)
-          done);
-      let restart_at = ref nan and repaired_at = ref nan in
-      Obs.subscribe (Cluster.obs cluster) (fun ~at ~actor:_ ev ->
-          match (ev : Event.t) with
-          | Event.Mem_restart { mid = 1; _ } -> restart_at := at
-          | Event.Custom { name = "smr.repair"; detail = "mu1" } ->
-              if Float.is_nan !repaired_at then repaired_at := at
-          | _ -> ());
-      Fault.apply cluster
-        [
-          Fault.Crash_memory { mid = 1; at = 20.0 };
-          Fault.Recover_memory { mid = 1; at = 40.0 };
-        ];
-      Cluster.run cluster;
-      let stale =
-        Rdma_mem.Memory.stale_registers (Cluster.memory cluster 1)
-          ~region:Smr_log.region
-      in
-      Fmt.pr "%-18d %-9d %-7d %-16s %-12s@." checkpoint_every
-        (Smr_log.applied_count replicas.(0))
-        (Rdma_sim.Stats.get (Cluster.stats cluster) "smr.checkpoints")
-        (if Float.is_nan !repaired_at || Float.is_nan !restart_at then "-"
-         else Printf.sprintf "%.1f" (!repaired_at -. !restart_at))
-        (check (stale = [])))
-    [ 0; 4; 2 ];
-  Fmt.pr "@.With checkpointing the transfer is one snapshot register plus the@.";
-  Fmt.pr "live tail instead of the whole log; either way the rejoined memory@.";
-  Fmt.pr "ends fully fresh (stale_registers = []), so it counts toward read@.";
-  Fmt.pr "quorums again without ever serving its lost state as bottom.@."
-
-(* ------------------------------------------------------------------ *)
-(* B1: wall-clock microbenches (Bechamel)                               *)
-(* ------------------------------------------------------------------ *)
-
-let bechamel_benches () =
-  section "b1" "Bechamel wall-clock microbenches (simulator + crypto + algorithms)";
-  let open Bechamel in
-  let open Toolkit in
-  let test_of (name, f) = Test.make ~name (Staged.stage f) in
-  let tests =
-    List.map test_of
-      [
-        ("sha256/1KiB", fun () -> ignore (Rdma_crypto.Sha256.digest_string (String.make 1024 'x')));
-        ("hmac/64B", fun () -> ignore (Rdma_crypto.Hmac.mac ~key:"k" (String.make 64 'm')));
-        ( "sim/10k-events",
-          fun () ->
-            let open Rdma_sim in
-            let e = Engine.create () in
-            for i = 1 to 10_000 do
-              Engine.schedule e (float_of_int i) (fun () -> ())
-            done;
-            Engine.run e );
-        (* one full simulated consensus instance per algorithm (T1/D1/D2
-           rows as wall-clock costs) *)
-        ("paxos/n3", fun () -> ignore (Paxos.run ~n:3 ~inputs:(inputs 3) ()));
-        ("fast-paxos/n3", fun () -> ignore (Fast_paxos.run ~n:3 ~inputs:(inputs 3) ()));
-        ( "disk-paxos/n3m3",
-          fun () -> ignore (Disk_paxos.run ~n:3 ~m:3 ~inputs:(inputs 3) ()) );
-        ( "protected-paxos/n3m3",
-          fun () -> ignore (Protected_paxos.run ~n:3 ~m:3 ~inputs:(inputs 3) ()) );
-        ( "aligned-paxos/n3m2",
-          fun () -> ignore (Aligned_paxos.run ~n:3 ~m:2 ~inputs:(inputs 3) ()) );
-        ( "fast-robust/n3m3",
-          fun () -> ignore (Fast_robust.run ~n:3 ~m:3 ~inputs:(inputs 3) ()) );
-        ( "robust-backup/n3m3",
-          fun () -> ignore (Robust_backup.run ~n:3 ~m:3 ~inputs:(inputs 3) ()) );
-        ( "pmp-multi/6slots",
-          fun () ->
-            ignore
-              (Protected_paxos_multi.run
-                 ~cfg:{ Protected_paxos_multi.default_config with slots = 6 }
-                 ~n:3 ~m:3
-                 ~input_for:(fun ~pid ~instance ->
-                   Printf.sprintf "c%d.%d" pid instance)
-                 ()) );
-      ]
-  in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.4) () in
-  Fmt.pr "%-24s %16s %10s@." "benchmark" "time/run" "samples";
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg instances test in
-      let analyze =
-        Analyze.all
-          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
-          Instance.monotonic_clock results
-      in
-      Hashtbl.iter
-        (fun label result ->
-          let samples =
-            match Hashtbl.find_opt results label with
-            | Some b -> b.Benchmark.stats.Benchmark.samples
-            | None -> 0
-          in
-          match Analyze.OLS.estimates result with
-          | Some [ est ] ->
-              let time =
-                if est > 1_000_000.0 then Printf.sprintf "%.2f ms" (est /. 1_000_000.)
-                else if est > 1_000.0 then Printf.sprintf "%.2f us" (est /. 1_000.)
-                else Printf.sprintf "%.0f ns" est
-              in
-              Fmt.pr "%-24s %16s %10d@." label time samples
-          | _ -> Fmt.pr "%-24s %16s %10d@." label "?" samples)
-        analyze)
-    tests
-
-(* ------------------------------------------------------------------ *)
-
-let experiments =
-  [
-    ("t1", exp_t1);
-    ("d1", exp_d1);
-    ("d2", exp_d2);
-    ("d3", exp_d3);
-    ("d4", exp_d4);
-    ("d5", exp_d5);
-    ("d6", exp_d6);
-    ("d7", exp_d7);
-    ("a1", exp_a1);
-    ("l1", exp_l1);
-    ("f1", exp_f1);
-    ("f6", exp_f6);
-    ("m1", exp_m1);
-    ("o1", exp_o1);
-    ("c1", exp_c1);
-    ("r1", exp_r1);
-    ("bechamel", bechamel_benches);
-  ]
+let usage () =
+  Fmt.epr
+    "usage: main.exe [-j N] [--trace-out FILE] [--metrics-out FILE] [ID..]@.";
+  exit 1
 
 let () =
-  (* Split --trace-out/--metrics-out (with their FILE argument, = or
-     space separated) from the experiment ids. *)
-  let rec parse acc = function
-    | [] -> List.rev acc
-    | "--trace-out" :: file :: rest ->
-        trace_out := Some file;
-        parse acc rest
-    | "--metrics-out" :: file :: rest ->
-        metrics_out := Some file;
-        parse acc rest
-    | arg :: rest when String.length arg > 12 && String.sub arg 0 12 = "--trace-out=" ->
-        trace_out := Some (String.sub arg 12 (String.length arg - 12));
-        parse acc rest
-    | arg :: rest
-      when String.length arg > 14 && String.sub arg 0 14 = "--metrics-out=" ->
-        metrics_out := Some (String.sub arg 14 (String.length arg - 14));
-        parse acc rest
-    | arg :: rest -> parse (arg :: acc) rest
+  (* Split the option flags (with their argument, = or space separated)
+     from the experiment ids. *)
+  let prefixed prefix arg =
+    let lp = String.length prefix in
+    if String.length arg > lp && String.sub arg 0 lp = prefix then
+      Some (String.sub arg lp (String.length arg - lp))
+    else None
   in
-  let ids = parse [] (List.tl (Array.to_list Sys.argv)) in
+  let rec parse (ids, trace_out, metrics_out, jobs) = function
+    | [] -> (List.rev ids, trace_out, metrics_out, jobs)
+    | "--trace-out" :: file :: rest ->
+        parse (ids, Some file, metrics_out, jobs) rest
+    | "--metrics-out" :: file :: rest ->
+        parse (ids, trace_out, Some file, jobs) rest
+    | ("-j" | "--jobs") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j -> parse (ids, trace_out, metrics_out, j) rest
+        | None -> usage ())
+    | arg :: rest -> (
+        match
+          ( prefixed "--trace-out=" arg,
+            prefixed "--metrics-out=" arg,
+            prefixed "--jobs=" arg,
+            prefixed "-j" arg )
+        with
+        | Some file, _, _, _ -> parse (ids, Some file, metrics_out, jobs) rest
+        | _, Some file, _, _ -> parse (ids, trace_out, Some file, jobs) rest
+        | _, _, Some n, _ | _, _, _, Some n -> (
+            match int_of_string_opt n with
+            | Some j -> parse (ids, trace_out, metrics_out, j) rest
+            | None -> usage ())
+        | None, None, None, None ->
+            parse (arg :: ids, trace_out, metrics_out, jobs) rest)
+  in
+  let ids, trace_out, metrics_out, jobs =
+    parse ([], None, None, Rdma_sim.Pool.default_jobs ())
+      (List.tl (Array.to_list Sys.argv))
+  in
   let requested =
     match ids with
     | _ :: _ -> ids
     | [] ->
         (* A bare --trace-out run means "just the observability
            experiment", not the full suite. *)
-        if !trace_out <> None || !metrics_out <> None then [ "o1" ]
-        else List.map fst experiments
+        if trace_out <> None || metrics_out <> None then [ "o1" ]
+        else Rdma_bench.Experiments.ids ()
   in
   List.iter
     (fun id ->
-      match List.assoc_opt id experiments with
-      | Some f -> f ()
-      | None ->
-          Fmt.epr "unknown experiment %s (known: %s)@." id
-            (String.concat ", " (List.map fst experiments));
-          exit 1)
-    requested
+      if Rdma_bench.Experiments.find id = None then begin
+        Fmt.epr "unknown experiment %s (known: %s)@." id
+          (String.concat ", " (Rdma_bench.Experiments.ids ()));
+        exit 1
+      end)
+    requested;
+  Rdma_bench.Experiments.run_suite ~jobs ?trace_out ?metrics_out requested

@@ -493,7 +493,21 @@ let chaos_explore_cmd =
         & info [ "expect-violations" ]
             ~doc:"Invert the exit status: fail when NO violation is found.")
   in
-  let action name runs seed adversary byzantine over_budget out expect_violations =
+  let jobs =
+    Arg.(value
+        & opt int (Rdma_sim.Pool.default_jobs ())
+        & info [ "j"; "jobs" ] ~docv:"N"
+            ~doc:
+              "Run schedules across $(docv) domains (results are \
+               byte-identical at any job count).")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+        & info [ "metrics-out" ] ~docv:"FILE"
+            ~doc:"Write the batch's merged metrics snapshot to $(docv).")
+  in
+  let action name runs seed adversary byzantine over_budget out expect_violations
+      jobs metrics_out =
     let scenario = find_scenario name in
     let options =
       {
@@ -503,6 +517,7 @@ let chaos_explore_cmd =
         adversary;
         byz = byzantine;
         over_budget;
+        jobs;
       }
     in
     let batch = Explore.explore ~options scenario in
@@ -523,6 +538,11 @@ let chaos_explore_cmd =
         Fmt.pr "repro written to %s@." path
     | Some _, [] -> Fmt.pr "no violation to write@."
     | None, _ -> ());
+    (match metrics_out with
+    | Some path ->
+        Rdma_obs.Export.write_metrics batch.Explore.metrics ~file:path;
+        Fmt.pr "metrics written to %s@." path
+    | None -> ());
     let failed = List.length batch.failures in
     Fmt.pr "%s: %d schedules, %d ok, %d violations@." name (Explore.total batch)
       batch.passed failed;
@@ -535,7 +555,7 @@ let chaos_explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
       const action $ chaos_scenario_pos $ runs $ seed $ adversary $ byzantine
-      $ over_budget $ out $ expect_violations)
+      $ over_budget $ out $ expect_violations $ jobs $ metrics_out)
 
 let chaos_replay_cmd =
   let open Rdma_chaos in

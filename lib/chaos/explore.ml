@@ -2,8 +2,22 @@
    seeds, run each against the scenario, and on any violation shrink the
    schedule to a minimal counterexample and package it as a repro
    artifact.  The whole batch is a pure function of (scenario, options,
-   base seed), so two invocations with the same arguments produce the
-   same verdicts, the same artifacts, byte for byte. *)
+   base seed) — including [jobs]: two invocations with the same
+   arguments produce the same verdicts, the same artifacts, the same
+   aggregate metrics, byte for byte, at any [-j].
+
+   Structure for parallelism: each case run is a self-contained
+   {!Rdma_sim.Task} — the task builds its case from its own seed, runs
+   it on a fresh cluster, and returns the outcome plus the cluster's
+   collector.  There are no shared accumulators; the batch verdict and
+   the metrics aggregate are a sequential, submission-ordered fold over
+   the pool's (already submission-ordered) results.  Shrinking runs per
+   failure in seed order, with each delta-debugging step's candidate
+   batch evaluated on the pool. *)
+
+open Rdma_sim
+open Rdma_obs
+open Rdma_mm
 
 type options = {
   runs : int;
@@ -12,6 +26,7 @@ type options = {
   byz : bool;  (* draw Byzantine processes from the scenario pool *)
   over_budget : bool;  (* lift the crash budget past the fault model *)
   shrink_runs : int;  (* probe cap for the shrinker *)
+  jobs : int;  (* worker domains for case runs and shrink batches *)
 }
 
 let default_options =
@@ -22,6 +37,7 @@ let default_options =
     byz = false;
     over_budget = false;
     shrink_runs = 200;
+    jobs = 1;
   }
 
 type failure = {
@@ -35,6 +51,7 @@ type batch = {
   options : options;
   passed : int;
   failures : failure list;  (* in seed order *)
+  metrics : Obs.t;  (* seed-ordered merge of the primary runs' metrics *)
 }
 
 let total batch = batch.passed + List.length batch.failures
@@ -48,15 +65,26 @@ let run_with_faults scenario (case : Nemesis.case) faults =
    not necessarily the same one: for a minimal counterexample any
    invariant breakage keeps the schedule interesting. *)
 let still_fails scenario case faults =
-  (run_with_faults scenario case faults).violations <> []
+  (run_with_faults scenario case faults).Scenario.violations <> []
 
-let shrink ?(max_runs = 200) scenario (outcome : Scenario.outcome) =
+let shrink ?(max_runs = 200) ?(jobs = 1) scenario (outcome : Scenario.outcome) =
   let case = outcome.Scenario.case in
-  let minimized, probes =
-    Shrink.minimize ~max_runs
-      ~still_fails:(still_fails scenario case)
-      case.Nemesis.faults
+  (* One delta-debugging step's candidates as one pool batch.  Every
+     probe is a full deterministic re-run seeded by the case alone, so
+     the verdict vector — and with it the shrink trajectory and probe
+     count — is independent of [jobs]. *)
+  let eval candidates =
+    candidates
+    |> List.mapi (fun j faults ->
+           Task.make
+             ~label:
+               (Printf.sprintf "%s/seed%d/shrink-candidate%d"
+                  scenario.Scenario.name case.Nemesis.case_seed j)
+             ~seed:case.Nemesis.case_seed
+             (fun ~seed:_ -> still_fails scenario case faults))
+    |> Pool.run_exn ~jobs
   in
+  let minimized, probes = Shrink.minimize ~max_runs ~eval case.Nemesis.faults in
   (* The minimized schedule's outcome (re-run once more so the artifact
      records the violations of what it actually ships). *)
   let final = run_with_faults scenario case minimized in
@@ -66,28 +94,55 @@ let shrink ?(max_runs = 200) scenario (outcome : Scenario.outcome) =
   in
   (repro, probes)
 
-let explore ?(options = default_options) scenario =
-  let passed = ref 0 in
-  let failures = ref [] in
-  for i = 0 to options.runs - 1 do
-    let case =
-      Scenario.generate scenario ~adversary:options.adversary ~byz:options.byz
-        ~over_budget:options.over_budget ~seed:(options.seed + i) ()
-    in
-    let outcome = Scenario.run scenario case in
-    if Scenario.passed outcome then incr passed
-    else begin
-      let repro, shrink_probes =
-        shrink ~max_runs:options.shrink_runs scenario outcome
+(* One case as a self-contained task: build the case from the task's
+   own seed, run it on a fresh cluster, and hand back the outcome plus
+   that cluster's collector (captured via the prepare hook) so the
+   caller can fold metrics in submission order.  Everything mutable the
+   task touches is created inside the task. *)
+let case_task scenario (options : options) i =
+  Task.make
+    ~label:(Printf.sprintf "%s/case%d" scenario.Scenario.name i)
+    ~seed:(options.seed + i)
+    (fun ~seed ->
+      let case =
+        Scenario.generate scenario ~adversary:options.adversary
+          ~byz:options.byz ~over_budget:options.over_budget ~seed ()
       in
-      failures := { outcome; repro; shrink_probes } :: !failures
-    end
-  done;
+      let obs = ref None in
+      let outcome =
+        Scenario.run scenario case ~prepare:(fun cluster ->
+            obs := Some (Cluster.obs cluster))
+      in
+      (outcome, !obs))
+
+let explore ?(options = default_options) scenario =
+  let results =
+    Pool.run_exn ~jobs:options.jobs
+      (List.init options.runs (case_task scenario options))
+  in
+  (* Submission-ordered fold: verdicts, shrinks, and the metrics merge
+     all walk the results in seed order, so the batch is identical at
+     any [jobs].  Shrink probes do not contribute to [metrics]. *)
+  let metrics = Obs.create () in
+  let passed, failures =
+    List.fold_left
+      (fun (passed, failures) (outcome, obs) ->
+        Option.iter (fun o -> Obs.merge ~into:metrics o) obs;
+        if Scenario.passed outcome then (passed + 1, failures)
+        else
+          let repro, shrink_probes =
+            shrink ~max_runs:options.shrink_runs ~jobs:options.jobs scenario
+              outcome
+          in
+          (passed, { outcome; repro; shrink_probes } :: failures))
+      (0, []) results
+  in
   {
     scenario = scenario.Scenario.name;
     options;
-    passed = !passed;
-    failures = List.rev !failures;
+    passed;
+    failures = List.rev failures;
+    metrics;
   }
 
 (* Replay a repro artifact: rebuild the exact case and run it.  Returns

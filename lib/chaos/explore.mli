@@ -1,6 +1,12 @@
 (** The exploration driver: seeded batches of chaos cases, shrinking
     every violation to a minimal repro artifact.  Deterministic: the
-    batch verdict is a pure function of (scenario, options). *)
+    batch verdict, artifacts, and aggregate metrics are a pure function
+    of (scenario, options) — [jobs] only changes wall-clock, never
+    output.  Case runs are self-contained {!Rdma_sim.Task}s scheduled
+    on a {!Rdma_sim.Pool}; shrink steps evaluate their candidate
+    batches on the same pool. *)
+
+open Rdma_obs
 
 type options = {
   runs : int;
@@ -9,6 +15,7 @@ type options = {
   byz : bool;  (** draw Byzantine processes from the scenario pool *)
   over_budget : bool;  (** lift the crash budget past the fault model *)
   shrink_runs : int;  (** probe cap for the shrinker *)
+  jobs : int;  (** worker domains for case runs and shrink batches *)
 }
 
 val default_options : options
@@ -24,14 +31,18 @@ type batch = {
   options : options;
   passed : int;
   failures : failure list;  (** in seed order *)
+  metrics : Obs.t;
+      (** the primary runs' histograms/counters, merged in seed order
+          (shrink probes excluded) — identical at any [jobs] *)
 }
 
 val total : batch -> int
 
 (** Shrink one violating outcome to a repro artifact; returns the probe
-    count too. *)
+    count too.  [jobs] parallelizes each shrink step's candidate batch
+    without changing the trajectory or the probe count. *)
 val shrink :
-  ?max_runs:int -> Scenario.t -> Scenario.outcome -> Repro.t * int
+  ?max_runs:int -> ?jobs:int -> Scenario.t -> Scenario.outcome -> Repro.t * int
 
 val explore : ?options:options -> Scenario.t -> batch
 

@@ -331,7 +331,8 @@ let arm_trigger cluster ~fired (tr : Nemesis.trigger) =
         end
       end)
 
-let run t (case : Nemesis.case) =
+let run ?prepare:(extra_prepare = fun (_ : string Cluster.t) -> ()) t
+    (case : Nemesis.case) =
   let inputs = inputs t in
   let byzantine =
     List.map
@@ -352,7 +353,8 @@ let run t (case : Nemesis.case) =
         (Oracle.install
            ?repair:(Option.map (fun pred -> pred cluster) t.repair)
            ~deadline:t.deadline cluster);
-    List.iter (arm_trigger cluster ~fired) case.triggers
+    List.iter (arm_trigger cluster ~fired) case.triggers;
+    extra_prepare cluster
   in
   match
     t.exec ~seed:case.case_seed ~inputs ~faults:case.faults ~byzantine ~prepare

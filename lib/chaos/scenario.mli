@@ -53,8 +53,11 @@ type outcome = {
 val passed : outcome -> bool
 
 (** Run one case deterministically: install the oracle and telemetry
-    triggers via [prepare], execute, and return the verdict. *)
-val run : t -> Nemesis.case -> outcome
+    triggers, execute, and return the verdict.  [?prepare] composes an
+    extra hook run after the standard installation — callers use it to
+    capture the cluster's collector ({!Cluster.obs}) for metrics
+    aggregation without the outcome itself carrying live state. *)
+val run : ?prepare:(string Cluster.t -> unit) -> t -> Nemesis.case -> outcome
 
 (** Generate the case for [seed] under this scenario's constraints.
     [over_budget] lifts the crash budget past the fault model (expected

@@ -182,10 +182,14 @@ let write_string ~file s =
     (fun () -> output_string oc s)
 
 (* [.jsonl] selects the line-oriented exporter; anything else gets the
-   Chrome trace_event document. *)
-let write_trace obs ~file =
-  if Filename.check_suffix file ".jsonl" then write_string ~file (jsonl obs)
-  else write_string ~file (chrome obs)
+   Chrome trace_event document.  [render_trace] exposes the same
+   format choice as a pure string so pooled tasks can render their
+   export blob inside the worker domain and let the submitting domain
+   do the file write. *)
+let render_trace obs ~file =
+  if Filename.check_suffix file ".jsonl" then jsonl obs else chrome obs
+
+let write_trace obs ~file = write_string ~file (render_trace obs ~file)
 
 let write_metrics obs ~file = write_string ~file (metrics obs)
 

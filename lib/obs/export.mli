@@ -16,6 +16,12 @@ val metrics_json : Obs.t -> Json.t
 
 val metrics : Obs.t -> string
 
+(** Render the trace that {!write_trace} would write to [file]: a
+    [.jsonl] suffix selects the JSONL exporter, anything else the
+    Chrome format.  Pooled tasks use this to return export blobs as
+    plain strings. *)
+val render_trace : Obs.t -> file:string -> string
+
 (** Write the trace to [file]; a [.jsonl] suffix selects the JSONL
     exporter, anything else the Chrome format. *)
 val write_trace : Obs.t -> file:string -> unit

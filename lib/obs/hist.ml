@@ -47,6 +47,26 @@ let add t v =
     | Some r -> incr r
     | None -> Hashtbl.add t.buckets idx (ref 1)
 
+(* Fold [src] into [into].  Every tracked quantity is a sum (or a
+   min/max), so merging is insensitive to the order the samples were
+   originally observed in — the property the domain-parallel sweep
+   merge relies on.  Buckets are visited in sorted index order so the
+   destination's table is grown deterministically. *)
+let merge ~into src =
+  into.count <- into.count + src.count;
+  into.sum <- into.sum +. src.sum;
+  if src.count > 0 then begin
+    if src.vmin < into.vmin then into.vmin <- src.vmin;
+    if src.vmax > into.vmax then into.vmax <- src.vmax
+  end;
+  into.zeros <- into.zeros + src.zeros;
+  Hashtbl.fold (fun idx r acc -> (idx, !r) :: acc) src.buckets []
+  |> List.sort compare
+  |> List.iter (fun (idx, c) ->
+         match Hashtbl.find_opt into.buckets idx with
+         | Some r -> r := !r + c
+         | None -> Hashtbl.add into.buckets idx (ref c))
+
 let count t = t.count
 
 let sum t = t.sum

@@ -11,6 +11,11 @@ val create : unit -> t
 
 val add : t -> float -> unit
 
+(** [merge ~into src] folds [src]'s samples into [into].  Equivalent to
+    re-adding every sample of [src] (same counts, sums, extrema and
+    buckets), and insensitive to observation order. *)
+val merge : into:t -> t -> unit
+
 val count : t -> int
 
 val sum : t -> float

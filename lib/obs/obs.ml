@@ -92,6 +92,22 @@ let count t name n =
   | Some r -> r := !r + n
   | None -> Hashtbl.add t.counters name (ref n)
 
+(* Merge is METRICS-ONLY and an explicit, order-stable fold: src's
+   histograms and counters are folded into [into] in sorted-name order,
+   so merging N collectors in submission order yields one deterministic
+   aggregate no matter which domain produced which collector.  The raw
+   entry stream (events/spans), clock, and subscribers are deliberately
+   NOT merged: those stay confined to the domain that recorded them,
+   and exporting them is a per-task concern (tasks return rendered
+   export blobs instead of live collectors). *)
+let merge ~into src =
+  Hashtbl.fold (fun name (cat, h) acc -> (name, cat, h) :: acc) src.hists []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  |> List.iter (fun (name, cat, h) -> Hist.merge ~into:(hist_for into ~cat name) h);
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) src.counters []
+  |> List.sort compare
+  |> List.iter (fun (name, n) -> count into name n)
+
 (* {2 Spans} *)
 
 let span t ~actor ?(cat = "span") name =

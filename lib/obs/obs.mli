@@ -48,6 +48,15 @@ val observe : t -> ?cat:string -> string -> float -> unit
 (** Add [n] to a named counter. *)
 val count : t -> string -> int -> unit
 
+(** [merge ~into src] folds [src]'s metrics (histograms and counters)
+    into [into], visiting names in sorted order so the fold is
+    order-stable: merging per-task collectors in submission order
+    yields the same aggregate regardless of which domain produced
+    which collector.  The raw event/span stream, clock, and
+    subscribers of [src] are not merged — they stay confined to the
+    domain that recorded them. *)
+val merge : into:t -> t -> unit
+
 (** Open a span at the current virtual time.  [cat] defaults to
     ["span"]; protocol phases use [~cat:"phase"] so reports can single
     them out. *)

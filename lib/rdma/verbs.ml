@@ -21,7 +21,7 @@ open Rdma_obs
 
 type access = Remote_read | Remote_write | Remote_read_write
 
-type nic = { memory : Memory.t; mutable next_key : int }
+type nic = { memory : Memory.t; mutable next_key : int; mutable next_pd : int }
 
 type pd = { nic : nic; pd_id : int }
 
@@ -36,7 +36,7 @@ type mr = {
 
 type qp = { qp_pd : pd; remote : int }
 
-let nic memory = { memory; next_key = 0 }
+let nic memory = { memory; next_key = 0; next_pd = 0 }
 
 (* Registration-table changes are control-plane events on the memory's
    track: chrome traces show revocations lining up with the naks they
@@ -48,11 +48,12 @@ let emit_mr memory ~region op =
 
 let nic_memory t = t.memory
 
-let alloc_pd =
-  let counter = ref 0 in
-  fun nic ->
-    incr counter;
-    { nic; pd_id = !counter }
+(* pd ids are per-NIC, not global: a module-level counter would be
+   shared mutable state across pooled task domains and would make rkeys
+   depend on task interleaving. *)
+let alloc_pd nic =
+  nic.next_pd <- nic.next_pd + 1;
+  { nic; pd_id = nic.next_pd }
 
 let perm_of_access ~access ~grantees =
   match access with

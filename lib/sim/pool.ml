@@ -1,0 +1,88 @@
+(* Fixed-size domain pool with a seed-ordered deterministic merge.
+
+   [run ~jobs tasks] executes every task and returns the results in
+   SUBMISSION order, regardless of completion order, so [-j 1] and
+   [-j N] are byte-identical for any consumer that folds over the
+   result list.  The work queue is the task array itself plus an atomic
+   cursor: workers pop indices in submission order (the queue), write
+   into their slot of a results array, and the final [Domain.join]
+   publishes every slot to the submitting domain before it reads them.
+
+   Determinism argument:
+   - each task is a pure function of its own seed and captured config
+     (see Task); nothing a worker observes — its domain id, the cursor
+     value, timing — flows into a task's inputs;
+   - results land in the slot of their submission index, so the merged
+     list is [f t0; f t1; ...] no matter which domain computed what;
+   - exceptions are captured per task into the result slot rather than
+     tearing down the pool, so a failing task cannot reorder or starve
+     the others.
+
+   The engine itself stays single-domain: one simulation = one task =
+   one domain at a time.  The pool never hands two domains the same
+   engine, and collectors ([Obs.t]) stay confined to the domain that
+   created them until the task returns. *)
+
+type error = { task_label : string; task_seed : int; exn : exn }
+
+let pp_error ppf e =
+  Fmt.pf ppf "task %s (seed %d) raised %s" e.task_label e.task_seed
+    (Printexc.to_string e.exn)
+
+(* One domain is the coordinator; leave the rest to workers.  At least
+   1 so the pool degrades to sequential on single-core machines. *)
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* OCaml caps live domains (128 by default); clamp well below it so a
+   misconfigured -j or an accidentally nested pool cannot trip the
+   runtime limit. *)
+let max_workers = 64
+
+let run_task task =
+  match Task.apply task with
+  | r -> Ok r
+  | exception exn ->
+      Error { task_label = Task.label task; task_seed = Task.seed task; exn }
+
+let run ?jobs tasks =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  let workers = min (min jobs n) max_workers in
+  if n = 0 then []
+  else if workers <= 1 then
+    (* Sequential fast path: same merge order by construction. *)
+    Array.to_list (Array.map run_task tasks)
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          results.(i) <- Some (run_task tasks.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init workers (fun _ -> Domain.spawn worker) in
+    Array.iter Domain.join domains;
+    Array.to_list
+      (Array.map
+         (function
+           | Some r -> r
+           | None ->
+               (* unreachable: every index below the cursor was claimed
+                  by exactly one worker and joined above *)
+               assert false)
+         results)
+  end
+
+(* All-or-nothing variant: re-raise the first (submission-order) task
+   failure.  Harness drivers use this when a task exception means a
+   bug in the harness itself, not a property of the simulated run. *)
+let run_exn ?jobs tasks =
+  List.map
+    (function Ok r -> r | Error e -> raise e.exn)
+    (run ?jobs tasks)

@@ -1,0 +1,25 @@
+(** Fixed-size domain pool over {!Task} lists with a seed-ordered
+    deterministic merge: results come back in submission order
+    regardless of completion order, so [-j 1] and [-j N] runs are
+    byte-identical for any consumer that folds over the result list.
+
+    Exceptions raised by a task are captured into that task's result
+    slot; the other tasks are unaffected. *)
+
+type error = { task_label : string; task_seed : int; exn : exn }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [Domain.recommended_domain_count () - 1] (at least 1): one domain
+    coordinates, the rest work. *)
+val default_jobs : unit -> int
+
+(** [run ~jobs tasks] executes the tasks on [min jobs (length tasks)]
+    worker domains ([jobs <= 1] runs inline on the calling domain) and
+    returns per-task results in submission order.  [jobs] defaults to
+    {!default_jobs}. *)
+val run : ?jobs:int -> 'r Task.t list -> ('r, error) result list
+
+(** Like {!run} but re-raises the first (in submission order) captured
+    task exception. *)
+val run_exn : ?jobs:int -> 'r Task.t list -> 'r list

@@ -1,0 +1,30 @@
+(* A unit of simulation work: seed (and whatever configuration the
+   closure captured) in, pure result out.
+
+   Tasks are the currency of the domain-parallel sweep layer (Pool):
+   every heavy harness in the repository — chaos exploration batches,
+   shrinker probes, bench experiments — is expressed as a list of tasks
+   whose results are merged back in submission order, so the same list
+   runs sequentially or across domains with byte-identical outcomes.
+
+   The discipline that makes this safe is carried by the type: a task's
+   only inputs are its [seed] and the immutable values its closure
+   captured at construction time.  The runner passes the task's own
+   seed back to [run] — never a pool slot index or domain id — so any
+   RNG a task builds (ultimately [Engine.create ~seed]) is a function
+   of the task alone.  A task must not touch shared mutable state; its
+   result is handed back to the submitting domain after a full
+   synchronisation (Domain.join / the pool's queue lock), so results
+   may be ordinary heap values (reports, rendered output, Obs export
+   blobs). *)
+
+type 'r t = { label : string; seed : int; run : seed:int -> 'r }
+
+let make ~label ~seed run = { label; seed; run }
+
+let label t = t.label
+
+let seed t = t.seed
+
+(* Run the task on the calling domain, feeding it its own seed. *)
+let apply t = t.run ~seed:t.seed

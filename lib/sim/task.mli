@@ -1,0 +1,22 @@
+(** A unit of simulation work: seed/config in, pure result out.
+
+    Tasks are what {!Pool} schedules across domains.  A task may only
+    depend on its [seed] and the immutable values captured by its
+    closure; it must not touch shared mutable state.  Results are
+    ordinary heap values handed back to the submitting domain under a
+    full synchronisation, so they may carry reports, rendered output,
+    or [Obs] export blobs. *)
+
+type 'r t
+
+(** [make ~label ~seed run] packages one unit of work.  [label] is for
+    diagnostics (pool error reports); [run] receives the task's own
+    [seed] — never any pool or domain identity. *)
+val make : label:string -> seed:int -> (seed:int -> 'r) -> 'r t
+
+val label : 'r t -> string
+
+val seed : 'r t -> int
+
+(** Run the task on the calling domain. *)
+val apply : 'r t -> 'r

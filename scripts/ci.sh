@@ -21,7 +21,7 @@ echo "== simlint =="
 # Suppressions ([@simlint.allow] / simlint.allow file) are reviewed in
 # the diff like any other code.
 dune build tools/simlint/simlint.exe
-dune exec tools/simlint/simlint.exe -- lib/ bin/
+dune exec tools/simlint/simlint.exe -- lib/ bin/ bench/
 
 echo "== telemetry smoke test =="
 tmp="$(mktemp -d)"
@@ -71,6 +71,35 @@ dune exec bin/rdma_agreement.exe -- chaos replay "$tmp/repro.json" \
   > "$tmp/replay2.out" || true
 cmp "$tmp/replay1.out" "$tmp/replay2.out"
 echo "chaos replay deterministic: same artifact, same verdict bytes"
+
+echo "== parallel smoke test =="
+# The task/pool determinism contract, end to end through both CLIs: a
+# chaos batch explored across 4 domains must be byte-identical —
+# stdout, merged metrics and repro artifact — to the same batch run
+# inline, including the parallel shrinker on an over-budget batch.
+dune exec bin/rdma_agreement.exe -- chaos explore paxos \
+  --runs 25 --seed 1 --adversary -j 1 --metrics-out "$tmp/cm1.json" \
+  > "$tmp/cj1.out"
+dune exec bin/rdma_agreement.exe -- chaos explore paxos \
+  --runs 25 --seed 1 --adversary -j 4 --metrics-out "$tmp/cm4.json" \
+  > "$tmp/cj4.out"
+cmp "$tmp/cm1.json" "$tmp/cm4.json"
+# stdout mentions the metrics file name; strip that line before diffing
+grep -v "^metrics written" "$tmp/cj1.out" > "$tmp/cj1.flt"
+grep -v "^metrics written" "$tmp/cj4.out" > "$tmp/cj4.flt"
+cmp "$tmp/cj1.flt" "$tmp/cj4.flt"
+
+dune exec bin/rdma_agreement.exe -- chaos explore paxos \
+  --runs 5 --seed 1 --over-budget --expect-violations -j 4 \
+  --out "$tmp/repro-j4.json" > /dev/null
+cmp "$tmp/repro.json" "$tmp/repro-j4.json"
+
+# Same contract for the experiment harness: a subset of the suite run
+# across 4 domains prints the same bytes as the sequential run.
+dune exec bench/main.exe -- -j 1 d2 m1 c1 > "$tmp/bench-j1.out"
+dune exec bench/main.exe -- -j 4 d2 m1 c1 > "$tmp/bench-j4.out"
+cmp "$tmp/bench-j1.out" "$tmp/bench-j4.out"
+echo "parallel runs deterministic: -j 4 bytes = -j 1 bytes"
 
 echo "== recovery smoke test =="
 # Crash -> recover -> repair schedules: the nemesis pairs every crash

@@ -201,6 +201,44 @@ let test_explore_deterministic () =
   let b = Explore.explore ~options s in
   Alcotest.(check string) "identical batches" (batch_digest a) (batch_digest b)
 
+(* The pool determinism contract: a batch explored across 4 domains is
+   indistinguishable — failures, shrink-probe counts, repro artifacts
+   AND the merged metrics snapshot, byte for byte — from the same batch
+   explored inline.  Exercised with violations so the parallel shrinker
+   runs too. *)
+let test_explore_parallel_deterministic () =
+  let s = get_scenario "paxos" in
+  let batch jobs =
+    let options =
+      {
+        Explore.default_options with
+        runs = 12;
+        seed = 1;
+        over_budget = true;
+        jobs;
+      }
+    in
+    Explore.explore ~options s
+  in
+  let a = batch 1 and b = batch 4 in
+  Alcotest.(check string) "digest -j1 = -j4" (batch_digest a) (batch_digest b);
+  Alcotest.(check string) "metrics bytes -j1 = -j4"
+    (Export.metrics a.Explore.metrics)
+    (Export.metrics b.Explore.metrics);
+  Alcotest.(check bool) "batch has violations to shrink" true
+    (a.Explore.failures <> [])
+
+(* Clean batches merge metrics too: every case contributes its
+   collector, in seed order, so the snapshot is non-empty and stable. *)
+let test_explore_metrics_merged () =
+  let s = get_scenario "paxos" in
+  let options = { Explore.default_options with runs = 6; seed = 2 } in
+  let batch = Explore.explore ~options s in
+  Alcotest.(check int) "all passed" 6 batch.Explore.passed;
+  Alcotest.(check bool) "merged metrics non-empty" true
+    (Obs.histograms batch.Explore.metrics <> []
+    || Obs.counters batch.Explore.metrics <> [])
+
 (* The flagship acceptance demo: an over-budget paxos batch violates,
    the shrinker strictly reduces the schedule, and replaying the repro
    artifact still violates. *)
@@ -349,6 +387,10 @@ let suite =
       test_nemesis_respects_budget;
     Alcotest.test_case "exploration is deterministic" `Quick
       test_explore_deterministic;
+    Alcotest.test_case "parallel exploration byte-identical" `Quick
+      test_explore_parallel_deterministic;
+    Alcotest.test_case "batch metrics merged across cases" `Quick
+      test_explore_metrics_merged;
     Alcotest.test_case "shrinker yields minimal repro" `Quick
       test_shrinker_minimizes;
     Alcotest.test_case "telemetry adversary fires at phase boundary" `Quick

@@ -314,6 +314,72 @@ let test_stats_pp_sorted () =
      let iz = index_of "zeta" a in
      ia < im && im < iz)
 
+(* {2 Merging domain-confined collectors} *)
+
+(* Hist.merge's contract: folding src into into is observationally the
+   same as re-adding every one of src's samples — counts, sums,
+   extrema, percentiles and the exported summary all agree. *)
+let test_hist_merge_equals_readd () =
+  let samples_a = [ 0.0; 1.0; 3.5; 3.5; 120.0 ] in
+  let samples_b = [ 0.25; 2.0; 64.0; 0.0; 9.5; 1.0 ] in
+  let fill samples =
+    let h = Hist.create () in
+    List.iter (Hist.add h) samples;
+    h
+  in
+  let merged = fill samples_a in
+  Hist.merge ~into:merged (fill samples_b);
+  let readded = fill (samples_a @ samples_b) in
+  check bool "summaries agree" true (Hist.summary merged = Hist.summary readded);
+  List.iter
+    (fun q ->
+      check (Alcotest.float 0.0)
+        (Printf.sprintf "p%.0f agrees" (q *. 100.))
+        (Hist.percentile readded q)
+        (Hist.percentile merged q))
+    [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ];
+  (* merging an empty histogram is the identity *)
+  let before = Hist.summary merged in
+  Hist.merge ~into:merged (Hist.create ());
+  check bool "empty merge is identity" true (before = Hist.summary merged)
+
+(* Obs.merge folds metrics (histograms by name+cat, counters by name)
+   and is insensitive to both the order the metrics were registered in
+   the sources and the order the sources are merged — the exported
+   snapshot is byte-identical either way. *)
+let test_obs_merge_order_stable () =
+  let build names =
+    let obs = Obs.create () in
+    List.iter
+      (fun name ->
+        Obs.observe obs ~cat:"m" name (float_of_int (String.length name));
+        Obs.count obs (name ^ ".n") (String.length name))
+      names;
+    obs
+  in
+  let snapshot sources =
+    let into = Obs.create () in
+    List.iter (fun src -> Obs.merge ~into src) sources;
+    Export.metrics into
+  in
+  let a = build [ "zeta"; "alpha"; "mid" ] in
+  let b = build [ "mid"; "beta" ] in
+  check string "merge order does not leak"
+    (snapshot [ a; b ]) (snapshot [ b; a ]);
+  check string "registration order does not leak"
+    (snapshot [ build [ "alpha"; "mid"; "zeta" ]; b ])
+    (snapshot [ a; b ]);
+  (* shared names accumulate rather than overwrite *)
+  let into = Obs.create () in
+  Obs.merge ~into a;
+  Obs.merge ~into b;
+  check bool "shared histogram accumulates" true
+    (List.exists
+       (fun (name, s) -> name = "mid" && s.Hist.count = 2)
+       (Obs.summaries into));
+  check bool "shared counter accumulates" true
+    (List.mem ("mid.n", 6) (Obs.counters into))
+
 let suite =
   [
     Alcotest.test_case "span nesting under virtual time" `Quick
@@ -336,4 +402,8 @@ let suite =
       test_metric_order_invariant;
     Alcotest.test_case "Stats.pp sorts named counters" `Quick
       test_stats_pp_sorted;
+    Alcotest.test_case "Hist.merge equals re-adding samples" `Quick
+      test_hist_merge_equals_readd;
+    Alcotest.test_case "Obs.merge is order-stable" `Quick
+      test_obs_merge_order_stable;
   ]

@@ -1,0 +1,3 @@
+(* Suppressed D6: binding-level and expression-level attributes. *)
+let table = Hashtbl.create 16 [@@simlint.allow "D6"]
+let counter = (ref 0 [@simlint.allow "D6"])

@@ -1,0 +1,7 @@
+(* D6: module-level mutable state — every binding below fires. *)
+let table = Hashtbl.create 16
+let counter = ref 0
+let slots = Array.make 4 0
+let buf = Buffer.create 64
+let shared = Atomic.make 0
+let wrapped = Some (ref [])

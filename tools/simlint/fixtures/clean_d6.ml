@@ -1,0 +1,9 @@
+(* Clean: creators inside function bodies build fresh state per call;
+   immutable module-level values are fine; non-binding initializers are
+   not module state. *)
+let fresh_table () = Hashtbl.create 16
+let make_counter () = ref 0
+let limit = 42
+let double xs = List.map (fun x -> x * 2) xs
+let pick = function 0 -> ref 0 | n -> ref n
+let () = ignore (fresh_table ())

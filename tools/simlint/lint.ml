@@ -34,6 +34,14 @@
          handler to be revisited.
    - D4  physical equality [==]/[!=] outside [lib/sim].
    - D5  [Obj.magic] / [Marshal.*] anywhere.
+   - D6  module-level mutable state — a top-level [let] whose
+         right-hand side applies a mutable-container creator ([ref],
+         [Hashtbl.create], [Array.make], [Buffer.create], ...) outside
+         any function body — inside the designated task-parallel trees
+         ([lib/], [bench/]).  Such a value is shared by every domain
+         that touches the module, so it breaks the task isolation the
+         domain pool's determinism rests on; state belongs in the task
+         or its threaded config.
 
    Suppression: attach [@simlint.allow "D2"] to the offending
    expression, its pattern (for D3 arms), an enclosing [let] binding, or
@@ -42,9 +50,9 @@
    [RULE-ID path-fragment] lines in a checked-in [simlint.allow] file.
    Unknown rule ids in payloads are ignored (forward compatibility). *)
 
-type rule = D1 | D2 | D3 | D4 | D5
+type rule = D1 | D2 | D3 | D4 | D5 | D6
 
-let all_rules = [ D1; D2; D3; D4; D5 ]
+let all_rules = [ D1; D2; D3; D4; D5; D6 ]
 
 let rule_id = function
   | D1 -> "D1"
@@ -52,6 +60,7 @@ let rule_id = function
   | D3 -> "D3"
   | D4 -> "D4"
   | D5 -> "D5"
+  | D6 -> "D6"
 
 let rule_of_id = function
   | "D1" -> Some D1
@@ -59,6 +68,7 @@ let rule_of_id = function
   | "D3" -> Some D3
   | "D4" -> Some D4
   | "D5" -> Some D5
+  | "D6" -> Some D6
   | _ -> None
 
 type finding = {
@@ -77,6 +87,7 @@ type config = {
   sim_dirs : string list;
       (** path fragments naming the engine tree exempt from D1/D4 *)
   proto_dirs : string list;  (** path fragments where D3 applies *)
+  mutable_dirs : string list;  (** path fragments where D6 applies *)
   allow : (rule * string) list;
       (** file-level allowlist: (rule, path fragment) pairs *)
 }
@@ -86,6 +97,7 @@ let default_config =
     rules = all_rules;
     sim_dirs = [ "lib/sim/" ];
     proto_dirs = [ "lib/core/"; "lib/smr/"; "lib/chaos/" ];
+    mutable_dirs = [ "lib/"; "bench/" ];
     allow = [];
   }
 
@@ -264,6 +276,65 @@ let d5_banned path_components =
          seeds); use the typed codecs"
   | _ -> None
 
+(* D6 — functions whose application yields a fresh mutable container. *)
+let d6_creator = function
+  | [ "ref" ] -> Some "ref"
+  | [ "Hashtbl"; "create" ] -> Some "Hashtbl.create"
+  | [ "Array"; (("make" | "init" | "create_float" | "make_matrix") as f) ] ->
+      Some ("Array." ^ f)
+  | [ "Bytes"; (("create" | "make") as f) ] -> Some ("Bytes." ^ f)
+  | [ "Buffer"; "create" ] -> Some "Buffer.create"
+  | [ "Queue"; "create" ] -> Some "Queue.create"
+  | [ "Stack"; "create" ] -> Some "Stack.create"
+  | [ "Atomic"; "make" ] -> Some "Atomic.make"
+  | [ "Mutex"; "create" ] -> Some "Mutex.create"
+  | [ "Condition"; "create" ] -> Some "Condition.create"
+  | _ -> None
+
+(* Mutable-creator applications reachable from [e] without entering a
+   function body: whatever they build is constructed once, at module
+   initialization, not per call.  Expression-level [@simlint.allow]
+   attributes are honoured here because the D6 scan runs from the
+   structure-item hook, outside the expression-walk suppression stack. *)
+let d6_creator_apps (e : Parsetree.expression) =
+  let found = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          match e.pexp_desc with
+          | Pexp_fun _ | Pexp_function _ -> ()
+          | _ ->
+              (match e.pexp_desc with
+              | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+                  match d6_creator (strip_stdlib (longident_flatten txt)) with
+                  | Some name
+                    when not (List.mem D6 (allows_of_attributes e.pexp_attributes))
+                    ->
+                      found := (e.pexp_loc, name) :: !found
+                  | _ -> ())
+              | _ -> ());
+              Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  List.rev !found
+
+(* Does the pattern bind at least one name?  [let () = ...] and
+   [let _ = ...] initializers are not module state. *)
+let rec pattern_binds (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_var _ | Ppat_alias _ -> true
+  | Ppat_tuple ps | Ppat_array ps -> List.exists pattern_binds ps
+  | Ppat_constraint (p, _) | Ppat_lazy p | Ppat_open (_, p) | Ppat_exception p
+    ->
+      pattern_binds p
+  | Ppat_or (a, b) -> pattern_binds a || pattern_binds b
+  | Ppat_construct (_, Some (_, p)) -> pattern_binds p
+  | Ppat_record (fields, _) -> List.exists (fun (_, p) -> pattern_binds p) fields
+  | _ -> false
+
 let head_ident (e : Parsetree.expression) =
   match e.pexp_desc with
   | Pexp_ident { txt; _ } -> Some (strip_stdlib (longident_flatten txt))
@@ -345,6 +416,7 @@ let lint_file cfg ~ctors (path, (ast : Parsetree.structure)) =
   let file_module = module_of_path path in
   let in_sim = in_dirs path cfg.sim_dirs in
   let in_proto = in_dirs path cfg.proto_dirs in
+  let in_mutable = in_dirs path cfg.mutable_dirs in
   let enabled r = List.mem r cfg.rules in
   (* Suppression state: a stack of attribute-granted rule sets plus a
      file-wide set fed by floating [@@@simlint.allow] and the config's
@@ -498,6 +570,28 @@ let lint_file cfg ~ctors (path, (ast : Parsetree.structure)) =
                 Option.iter
                   (fun s -> file_allows := rules_of_payload s @ !file_allows)
                   (string_of_payload a.attr_payload)
+          | Pstr_value (_, vbs) when in_mutable && enabled D6 ->
+              (* Structure items only occur at module level (the
+                 expression walk never re-enters here), so every binding
+                 seen by this hook is module state. *)
+              List.iter
+                (fun (vb : Parsetree.value_binding) ->
+                  if
+                    pattern_binds vb.pvb_pat
+                    && not (List.mem D6 (allows_of_attributes vb.pvb_attributes))
+                  then
+                    List.iter
+                      (fun (loc, name) ->
+                        report ~loc D6
+                          (Printf.sprintf
+                             "module-level mutable state (%s) is shared by \
+                              every domain that touches this module and \
+                              breaks task isolation; move it into the task's \
+                              own state or threaded config, or justify with \
+                              [@simlint.allow \"D6\"]"
+                             name))
+                      (d6_creator_apps vb.pvb_expr))
+                vbs
           | _ -> ());
           Ast_iterator.default_iterator.structure_item it si);
     }

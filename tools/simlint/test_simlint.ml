@@ -9,9 +9,16 @@ module Lint = Simlint_lib.Lint
 
 let fixture name = Filename.concat "fixtures" name
 
-(* Fixtures play the role of the protocol-handler trees for D3; nothing
-   in them is exempt as engine code. *)
-let cfg = { Lint.default_config with proto_dirs = [ "fixtures" ]; sim_dirs = [] }
+(* Fixtures play the role of the protocol-handler trees for D3 and the
+   task-parallel trees for D6; nothing in them is exempt as engine
+   code. *)
+let cfg =
+  {
+    Lint.default_config with
+    proto_dirs = [ "fixtures" ];
+    mutable_dirs = [ "fixtures" ];
+    sim_dirs = [];
+  }
 
 let all_fixtures = Lint.collect_ml_files [ "fixtures" ]
 
@@ -46,6 +53,12 @@ let test_corpus () =
       ("bad_d4.ml", "D4", 3);
       ("bad_d5.ml", "D5", 2);
       ("bad_d5.ml", "D5", 3);
+      ("bad_d6.ml", "D6", 2);
+      ("bad_d6.ml", "D6", 3);
+      ("bad_d6.ml", "D6", 4);
+      ("bad_d6.ml", "D6", 5);
+      ("bad_d6.ml", "D6", 6);
+      ("bad_d6.ml", "D6", 7);
       ("uses_proto.ml", "D3", 5);
     ]
     (lint all_fixtures)
@@ -63,6 +76,12 @@ let test_proto_scope () =
   Alcotest.check finding_t "D3 silent outside protocol dirs" []
     (lint ~cfg:no_proto
        [ fixture "bad_d3.ml"; fixture "proto_types.ml"; fixture "uses_proto.ml" ])
+
+(* D6 only applies inside the designated task-parallel trees. *)
+let test_mutable_scope () =
+  let no_mut = { cfg with mutable_dirs = [ "lib/"; "bench/" ] } in
+  Alcotest.check finding_t "D6 silent outside mutable dirs" []
+    (lint ~cfg:no_mut [ fixture "bad_d6.ml" ])
 
 (* Each rule is individually toggleable. *)
 let test_rule_toggle () =
@@ -86,16 +105,17 @@ let test_rule_toggle () =
       (Lint.D3, "bad_d3.ml");
       (Lint.D4, "bad_d4.ml");
       (Lint.D5, "bad_d5.ml");
+      (Lint.D6, "bad_d6.ml");
     ]
 
 (* The attribute-based suppressions: the allow_* twins of the bad_*
    files carry the same banned code plus [@simlint.allow] and must be
    silent (the bad_* twins prove the un-suppressed code fires). *)
 let test_attribute_suppression () =
-  Alcotest.check finding_t "attributes suppress D1/D2/D3/D5" []
+  Alcotest.check finding_t "attributes suppress D1/D2/D3/D5/D6" []
     (lint
        [ fixture "allow_d1.ml"; fixture "allow_d2.ml"; fixture "allow_d3.ml";
-         fixture "allow_d5.ml" ])
+         fixture "allow_d5.ml"; fixture "allow_d6.ml" ])
 
 (* The checked-in allow-file format: rule id + path fragment. *)
 let test_allow_file () =
@@ -121,6 +141,7 @@ let () =
           Alcotest.test_case "corpus" `Quick test_corpus;
           Alcotest.test_case "sim exemption" `Quick test_sim_exemption;
           Alcotest.test_case "proto scope" `Quick test_proto_scope;
+          Alcotest.test_case "mutable-state scope" `Quick test_mutable_scope;
           Alcotest.test_case "rule toggle" `Quick test_rule_toggle;
         ] );
       ( "suppression",
