@@ -29,6 +29,10 @@ type env = {
   metrics_out : string option;  (* o1: metrics export destination *)
   jobs : int;
   mutable exports : (string * string) list;  (* file -> rendered contents *)
+  mutable bench_rows : (string * float * int) list;
+      (* b1 Bechamel estimates, (label, ns/run, samples), in print
+         order; [run_one] routes them into the perf snapshot's timing
+         plane so B1 is machine-readable, not text-only *)
 }
 
 let pr env fmt = Fmt.pf env.ppf fmt
@@ -823,6 +827,7 @@ let bechamel_benches env =
                    else if est > 1_000.0 then Printf.sprintf "%.2f us" (est /. 1_000.)
                    else Printf.sprintf "%.0f ns" est
                  in
+                 env.bench_rows <- env.bench_rows @ [ (label, est, samples) ];
                  pr env "%-24s %16s %10d@." label time samples
              | _ -> pr env "%-24s %16s %10d@." label "?" samples))
     tests
@@ -861,13 +866,60 @@ let ids () = List.map (fun e -> e.id) all
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
+(* Substitute every "<id>" in a --perf-out template; see bench/main.ml. *)
+let perf_file template id =
+  let marker = "<id>" in
+  let buf = Buffer.create (String.length template) in
+  let ml = String.length marker in
+  let i = ref 0 in
+  while !i < String.length template do
+    if
+      !i + ml <= String.length template
+      && String.sub template !i ml = marker
+    then begin
+      Buffer.add_string buf id;
+      i := !i + ml
+    end
+    else begin
+      Buffer.add_char buf template.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
 (* Run one experiment into its own buffer: the task's result is the
-   rendered output plus the export blobs, both plain strings. *)
-let run_one ~jobs ~trace_out ~metrics_out e =
+   rendered output plus the export blobs, both plain strings.
+
+   With [perf_out], the experiment runs under its own work profiler and
+   exports a perf snapshot.  Wall-clock experiments get no profiler —
+   Bechamel's iteration counts depend on real time, so their op counts
+   are not deterministic and must stay out of the snapshot's
+   deterministic plane; their Bechamel estimates land in the timing
+   plane instead.  Deterministic experiments capture both planes
+   (timing is real wall-clock and varies run to run; only the
+   deterministic plane is byte-stable). *)
+let run_one ~jobs ~trace_out ~metrics_out ?perf_out e =
   let buf = Buffer.create 4096 in
   let ppf = Format.formatter_of_buffer buf in
-  let env = { ppf; trace_out; metrics_out; jobs; exports = [] } in
-  e.run env;
+  let env = { ppf; trace_out; metrics_out; jobs; exports = []; bench_rows = [] } in
+  (match perf_out with
+  | None -> e.run env
+  | Some template ->
+      let prof = Prof.create () in
+      if e.wall_clock then e.run env
+      else Prof.with_profiler prof (fun () -> e.run env);
+      List.iter
+        (fun (label, est_ns, samples) ->
+          let s = est_ns /. 1e9 in
+          Prof.add_timing prof ~path:("bechamel;" ^ label) ~calls:samples
+            ~total_s:s ~self_s:s)
+        env.bench_rows;
+      env.exports <-
+        env.exports
+        @ [
+            ( perf_file template e.id,
+              Export.perf_snapshot ~wall_clock:e.wall_clock ~id:e.id prof );
+          ]);
   Format.pp_print_flush ppf ();
   (Buffer.contents buf, env.exports)
 
@@ -885,7 +937,7 @@ let write_file (file, contents) =
    multiply domains); with a single selected experiment, the whole
    [jobs] budget goes to that experiment's inner pools instead.  Either
    way the bytes printed are identical to a sequential run. *)
-let run_suite ?(jobs = 1) ?trace_out ?metrics_out requested =
+let run_suite ?(jobs = 1) ?trace_out ?metrics_out ?perf_out requested =
   let selected =
     List.map
       (fun id ->
@@ -904,12 +956,13 @@ let run_suite ?(jobs = 1) ?trace_out ?metrics_out requested =
     (List.map
        (fun (i, e) ->
          Rdma_sim.Task.make ~label:e.id ~seed:i (fun ~seed:_ ->
-             (i, run_one ~jobs:inner_jobs ~trace_out ~metrics_out e)))
+             (i, run_one ~jobs:inner_jobs ~trace_out ~metrics_out ?perf_out e)))
        pooled)
   |> List.iter (fun (i, r) -> results.(i) <- r);
   (* wall-clock experiments run on the calling domain, after the pool *)
   List.iter
-    (fun (i, e) -> results.(i) <- run_one ~jobs:inner_jobs ~trace_out ~metrics_out e)
+    (fun (i, e) ->
+      results.(i) <- run_one ~jobs:inner_jobs ~trace_out ~metrics_out ?perf_out e)
     serial;
   Array.iter
     (fun (output, _) -> print_string output)

@@ -8,7 +8,12 @@
 
 let usage () =
   Fmt.epr
-    "usage: main.exe [-j N] [--trace-out FILE] [--metrics-out FILE] [ID..]@.";
+    "usage: main.exe [-j N] [--trace-out FILE] [--metrics-out FILE] \
+     [--perf-out TEMPLATE] [ID..]@.";
+  Fmt.epr
+    "  --perf-out TEMPLATE  write one perf snapshot per experiment; every@.";
+  Fmt.epr
+    "                       <id> in TEMPLATE is replaced by the experiment id@.";
   exit 1
 
 let () =
@@ -20,34 +25,43 @@ let () =
       Some (String.sub arg lp (String.length arg - lp))
     else None
   in
-  let rec parse (ids, trace_out, metrics_out, jobs) = function
-    | [] -> (List.rev ids, trace_out, metrics_out, jobs)
+  let rec parse (ids, trace_out, metrics_out, perf_out, jobs) = function
+    | [] -> (List.rev ids, trace_out, metrics_out, perf_out, jobs)
     | "--trace-out" :: file :: rest ->
-        parse (ids, Some file, metrics_out, jobs) rest
+        parse (ids, Some file, metrics_out, perf_out, jobs) rest
     | "--metrics-out" :: file :: rest ->
-        parse (ids, trace_out, Some file, jobs) rest
+        parse (ids, trace_out, Some file, perf_out, jobs) rest
+    | "--perf-out" :: tmpl :: rest ->
+        parse (ids, trace_out, metrics_out, Some tmpl, jobs) rest
     | ("-j" | "--jobs") :: n :: rest -> (
         match int_of_string_opt n with
-        | Some j -> parse (ids, trace_out, metrics_out, j) rest
+        | Some j -> parse (ids, trace_out, metrics_out, perf_out, j) rest
         | None -> usage ())
     | arg :: rest -> (
         match
           ( prefixed "--trace-out=" arg,
             prefixed "--metrics-out=" arg,
-            prefixed "--jobs=" arg,
-            prefixed "-j" arg )
+            prefixed "--perf-out=" arg,
+            (match prefixed "--jobs=" arg with
+            | Some n -> Some n
+            | None -> prefixed "-j" arg) )
         with
-        | Some file, _, _, _ -> parse (ids, Some file, metrics_out, jobs) rest
-        | _, Some file, _, _ -> parse (ids, trace_out, Some file, jobs) rest
-        | _, _, Some n, _ | _, _, _, Some n -> (
+        | Some file, _, _, _ ->
+            parse (ids, Some file, metrics_out, perf_out, jobs) rest
+        | _, Some file, _, _ ->
+            parse (ids, trace_out, Some file, perf_out, jobs) rest
+        | _, _, Some tmpl, _ ->
+            parse (ids, trace_out, metrics_out, Some tmpl, jobs) rest
+        | _, _, _, Some n -> (
             match int_of_string_opt n with
-            | Some j -> parse (ids, trace_out, metrics_out, j) rest
+            | Some j -> parse (ids, trace_out, metrics_out, perf_out, j) rest
             | None -> usage ())
         | None, None, None, None ->
-            parse (arg :: ids, trace_out, metrics_out, jobs) rest)
+            parse (arg :: ids, trace_out, metrics_out, perf_out, jobs) rest)
   in
-  let ids, trace_out, metrics_out, jobs =
-    parse ([], None, None, Rdma_sim.Pool.default_jobs ())
+  let ids, trace_out, metrics_out, perf_out, jobs =
+    parse
+      ([], None, None, None, Rdma_sim.Pool.default_jobs ())
       (List.tl (Array.to_list Sys.argv))
   in
   let requested =
@@ -67,4 +81,18 @@ let () =
         exit 1
       end)
     requested;
-  Rdma_bench.Experiments.run_suite ~jobs ?trace_out ?metrics_out requested
+  (* A template without <id> would make several experiments overwrite
+     each other's snapshot; refuse it up front. *)
+  (match perf_out with
+  | Some tmpl
+    when List.length requested > 1
+         && Rdma_bench.Experiments.perf_file tmpl "" = tmpl ->
+      (* substituting "" changed nothing => no <id> marker present *)
+      Fmt.epr
+        "--perf-out: template %S has no <id> marker but %d experiments are \
+         selected@."
+        tmpl (List.length requested);
+      exit 1
+  | _ -> ());
+  Rdma_bench.Experiments.run_suite ~jobs ?trace_out ?metrics_out ?perf_out
+    requested

@@ -194,8 +194,25 @@ let run_cmd =
     in
     Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
   in
+  let perf_out =
+    let doc =
+      "Write a versioned perf snapshot (deterministic work counters per \
+       scope, plus wall-clock timings) for this run to $(docv) as JSON.  \
+       The deterministic plane is byte-identical for a given seed; the \
+       timing plane is informational."
+    in
+    Arg.(value & opt (some string) None & info [ "perf-out" ] ~docv:"FILE" ~doc)
+  in
+  let flame_out =
+    let doc =
+      "Write collapsed flamegraph stacks (scope;path count) for this run to \
+       $(docv); feed to flamegraph.pl or speedscope."
+    in
+    Arg.(value & opt (some string) None & info [ "flame-out" ] ~docv:"FILE" ~doc)
+  in
   let action name n m seed inputs crash_procs crash_mems recover_mems
-      restart_machines leaders gst trace trace_out metrics_out =
+      restart_machines leaders gst trace trace_out metrics_out perf_out
+      flame_out =
     match find_algorithm name with
     | None ->
         Fmt.epr "unknown algorithm %s; try the list command@." name;
@@ -232,7 +249,17 @@ let run_cmd =
           if trace_out <> None then
             Obs.set_recording (Rdma_mm.Cluster.obs cluster) true
         in
-        let report = algo.exec ~seed ~n ~m ~inputs ~faults ~prepare in
+        (* Profile only when a perf export was asked for: the profiler
+           is cheap but not free, and an uninstrumented run should cost
+           nothing. *)
+        let want_prof = perf_out <> None || flame_out <> None in
+        let prof = Prof.create () in
+        let report =
+          if want_prof then
+            Prof.with_profiler prof (fun () ->
+                algo.exec ~seed ~n ~m ~inputs ~faults ~prepare)
+          else algo.exec ~seed ~n ~m ~inputs ~faults ~prepare
+        in
         Fmt.pr "algorithm : %s@." report.Report.algorithm;
         Fmt.pr "cluster   : n=%d processes, m=%d memories, seed=%d@." n m seed;
         if faults <> [] then
@@ -270,6 +297,24 @@ let run_cmd =
                 Export.write_metrics obs ~file;
                 Fmt.pr "metrics written to %s@." file)
               metrics_out);
+        let write_string file contents =
+          let oc = open_out file in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc contents)
+        in
+        Option.iter
+          (fun file ->
+            write_string file
+              (Export.perf_snapshot ~id:(name ^ "-seed" ^ string_of_int seed)
+                 prof);
+            Fmt.pr "perf snapshot written to %s@." file)
+          perf_out;
+        Option.iter
+          (fun file ->
+            write_string file (Export.flamegraph prof);
+            Fmt.pr "flamegraph stacks written to %s@." file)
+          flame_out;
         match (trace, !captured) with
         | Some limit, Some cluster ->
             let events = Rdma_sim.Trace.events (Rdma_mm.Cluster.trace cluster) in
@@ -286,7 +331,7 @@ let run_cmd =
     Term.(
       const action $ algo $ n $ m $ seed $ inputs $ crash_procs $ crash_mems
       $ recover_mems $ restart_machines $ leaders $ gst $ trace $ trace_out
-      $ metrics_out)
+      $ metrics_out $ perf_out $ flame_out)
 
 let fuzz_cmd =
   let algo =

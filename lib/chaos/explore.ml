@@ -109,10 +109,19 @@ let case_task scenario (options : options) i =
           ~byz:options.byz ~over_budget:options.over_budget ~seed ()
       in
       let obs = ref None in
+      (* Each primary run carries its own work profiler; its
+         deterministic op-counter totals are folded into the case's
+         collector (as [prof.*] counters), so the batch metrics report
+         chaos cost — hashing, memory ops, events — per schedule batch.
+         Shrink probes install no profiler, so (like the rest of the
+         metrics) they contribute nothing. *)
+      let prof = Prof.create () in
       let outcome =
-        Scenario.run scenario case ~prepare:(fun cluster ->
-            obs := Some (Cluster.obs cluster))
+        Prof.with_profiler prof (fun () ->
+            Scenario.run scenario case ~prepare:(fun cluster ->
+                obs := Some (Cluster.obs cluster)))
       in
+      Option.iter (fun o -> Obs.absorb_prof o prof) !obs;
       (outcome, !obs))
 
 let explore ?(options = default_options) scenario =

@@ -11,6 +11,7 @@ let xor_pad key byte =
   String.init block_size (fun i -> Char.chr (Char.code key.[i] lxor byte))
 
 let mac ~key message =
+  Rdma_obs.Prof.bump "hmac.macs" 1;
   let key = normalize_key key in
   let inner = Sha256.digest_string (xor_pad key 0x36 ^ message) in
   Sha256.digest_string (xor_pad key 0x5c ^ inner)

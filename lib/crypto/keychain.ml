@@ -35,11 +35,18 @@ let signer_id s = s.pid
 
 let payload_key author payload = Printf.sprintf "%d|%s" author payload
 
+(* [sign]/[valid] are synchronous (no engine suspension inside), so a
+   profiler scope here is a legal work-attribution frame: the SHA-256
+   blocks of the HMAC land under crypto.sign / crypto.verify. *)
 let sign signer payload =
   let chain = signer.chain in
-  chain.on_sign signer.pid;
-  { author = signer.pid;
-    tag = Hmac.mac ~key:chain.secrets.(signer.pid) (payload_key signer.pid payload) }
+  Rdma_obs.Prof.scope "crypto.sign" (fun () ->
+      Rdma_obs.Prof.bump "crypto.signs" 1;
+      chain.on_sign signer.pid;
+      { author = signer.pid;
+        tag =
+          Hmac.mac ~key:chain.secrets.(signer.pid)
+            (payload_key signer.pid payload) })
 
 (* A deliberately bogus signature claiming authorship by [author]; used by
    Byzantine behaviours in tests.  Verification rejects it (with
@@ -49,13 +56,15 @@ let forge ~author payload =
   { author; tag = Hmac.mac ~key:"forged" (payload_key author payload) }
 
 let valid t ~author payload signature =
-  let ok =
-    signature.author = author
-    && Hmac.equal signature.tag
-         (Hmac.mac ~key:t.secrets.(author) (payload_key author payload))
-  in
-  t.on_verify ~ok;
-  ok
+  Rdma_obs.Prof.scope "crypto.verify" (fun () ->
+      Rdma_obs.Prof.bump "crypto.verifies" 1;
+      let ok =
+        signature.author = author
+        && Hmac.equal signature.tag
+             (Hmac.mac ~key:t.secrets.(author) (payload_key author payload))
+      in
+      t.on_verify ~ok;
+      ok)
 
 (* sValid(p, v) where the signature carries its claimed author. *)
 let s_valid t payload signature = valid t ~author:signature.author payload signature

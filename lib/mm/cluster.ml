@@ -305,7 +305,10 @@ let restart_machine_at ?rejoin t ~at ~pid ~mid =
   Engine.schedule t.engine (max 0. (at -. Engine.now t.engine)) (fun () ->
       restart_machine ?rejoin t ~pid ~mid)
 
-let run t = Engine.run t.engine
+(* The run is the profiler's root frame: every fiber scope, crypto
+   scope and root-attributed counter of this cluster's execution nests
+   under [cluster.run] in perf snapshots and flamegraphs. *)
+let run t = Prof.scope "cluster.run" (fun () -> Engine.run t.engine)
 
 (* Re-raise the first exception that escaped a fiber, if any — tests call
    this so assertion failures inside process programs fail the test. *)

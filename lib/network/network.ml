@@ -110,6 +110,7 @@ let heal t =
 
 let deliver t ~src ~dst payload =
   Stats.incr_messages t.stats;
+  Prof.bump "net.msgs.sent" 1;
   Obs.event t.obs ~actor:(Printf.sprintf "p%d" src) (Event.Net_send { src; dst });
   let env = { from = src; payload } in
   if List.mem (src, dst) t.partitioned then t.buffered <- (src, dst, env) :: t.buffered

@@ -171,9 +171,84 @@ let metrics_json obs =
   let counters =
     Obs.counters obs |> List.map (fun (name, v) -> (name, Json.Int v))
   in
-  Json.Obj [ ("histograms", Json.Obj histograms); ("counters", Json.Obj counters) ]
+  let gauges =
+    Obs.gauges obs |> List.map (fun (name, v) -> (name, Json.Float v))
+  in
+  Json.Obj
+    [
+      ("histograms", Json.Obj histograms);
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+    ]
 
 let metrics obs = Json.to_string (metrics_json obs)
+
+(* {2 Perf snapshots (the profiler's two planes, one document)}
+
+   Versioned so tools/perfdiff can refuse to compare incompatible
+   shapes.  The deterministic plane (counters, per-scope attribution)
+   is byte-stable for a seed and diffed exactly; the timing plane
+   (wall-clock seconds) varies run to run and is diffed with noise
+   thresholds, or ignored.  [wall_clock] marks snapshots of
+   wall-clock-only experiments (Bechamel rows, empty deterministic
+   plane). *)
+
+let perf_snapshot_version = 1
+
+let perf_snapshot_json ?(wall_clock = false) ~id prof =
+  let counters =
+    Prof.totals prof |> List.map (fun (name, n) -> (name, Json.Int n))
+  in
+  let scopes =
+    Prof.by_scope prof
+    |> List.map (fun (path, row) ->
+           (path, Json.Obj (List.map (fun (c, n) -> (c, Json.Int n)) row)))
+  in
+  let timing_scopes =
+    Prof.timings prof
+    |> List.map (fun (path, calls, total_s, self_s) ->
+           ( path,
+             Json.Obj
+               [
+                 ("calls", Json.Int calls);
+                 ("total_s", Json.Float total_s);
+                 ("self_s", Json.Float self_s);
+               ] ))
+  in
+  Json.Obj
+    [
+      ("version", Json.Int perf_snapshot_version);
+      ("id", Json.String id);
+      ("wall_clock", Json.Bool wall_clock);
+      ( "deterministic",
+        Json.Obj
+          [ ("counters", Json.Obj counters); ("scopes", Json.Obj scopes) ] );
+      ( "timing",
+        Json.Obj
+          [ ("clock", Json.String "wall"); ("scopes", Json.Obj timing_scopes) ]
+      );
+    ]
+
+let perf_snapshot ?wall_clock ~id prof =
+  Json.to_string (perf_snapshot_json ?wall_clock ~id prof)
+
+(* Collapsed-stack rendering of one deterministic counter: one line per
+   scope path, [frame;frame;frame weight], the input format of
+   flamegraph.pl / speedscope / inferno.  Weights are the per-scope
+   (self) attribution, which is exactly what a flamegraph expects. *)
+let flamegraph ?(counter = "sim.events.popped") prof =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (path, row) ->
+      match List.assoc_opt counter row with
+      | Some n when n > 0 ->
+          Buffer.add_string buf path;
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int n);
+          Buffer.add_char buf '\n'
+      | _ -> ())
+    (Prof.by_scope prof);
+  Buffer.contents buf
 
 let write_string ~file s =
   let oc = open_out file in

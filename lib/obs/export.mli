@@ -11,10 +11,28 @@ val chrome : Obs.t -> string
 (** One JSON object per line per entry. *)
 val jsonl : Obs.t -> string
 
-(** Histogram summaries (count/sum/min/max/p50/p90/p99) and counters. *)
+(** Histogram summaries (count/sum/min/max/p50/p90/p99), counters and
+    gauges. *)
 val metrics_json : Obs.t -> Json.t
 
 val metrics : Obs.t -> string
+
+(** Perf-snapshot schema version (see tools/perfdiff). *)
+val perf_snapshot_version : int
+
+(** One profiler as a versioned snapshot document: the deterministic
+    plane (counters + per-scope attribution, byte-stable for a seed,
+    diffed exactly) and the timing plane (wall-clock seconds, diffed
+    with noise thresholds).  [wall_clock] marks snapshots of wall-clock
+    experiments whose deterministic plane is intentionally empty. *)
+val perf_snapshot_json : ?wall_clock:bool -> id:string -> Prof.t -> Json.t
+
+val perf_snapshot : ?wall_clock:bool -> id:string -> Prof.t -> string
+
+(** Collapsed-stack rendering of one deterministic counter (default
+    ["sim.events.popped"]): one [path weight] line per scope, the input
+    format of flamegraph.pl / speedscope. *)
+val flamegraph : ?counter:string -> Prof.t -> string
 
 (** Render the trace that {!write_trace} would write to [file]: a
     [.jsonl] suffix selects the JSONL exporter, anything else the

@@ -37,6 +37,7 @@ type t = {
   mutable span_subscribers : (span -> unit) list;
   hists : (string, string * Hist.t) Hashtbl.t; (* name -> (cat, hist) *)
   counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t; (* name -> high watermark *)
 }
 
 let create ?(recording = false) () =
@@ -50,6 +51,7 @@ let create ?(recording = false) () =
     span_subscribers = [];
     hists = Hashtbl.create 32;
     counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
   }
 
 let set_clock t clock = t.clock <- clock
@@ -92,6 +94,14 @@ let count t name n =
   | Some r -> r := !r + n
   | None -> Hashtbl.add t.counters name (ref n)
 
+(* Gauges are high watermarks: [gauge] keeps the max of everything set,
+   which is the only combination that also merges associatively —
+   merging per-task peaks in any grouping yields the batch peak. *)
+let gauge t name v =
+  match Hashtbl.find_opt t.gauges name with
+  | Some r -> if v > !r then r := v
+  | None -> Hashtbl.add t.gauges name (ref v)
+
 (* Merge is METRICS-ONLY and an explicit, order-stable fold: src's
    histograms and counters are folded into [into] in sorted-name order,
    so merging N collectors in submission order yields one deterministic
@@ -106,7 +116,10 @@ let merge ~into src =
   |> List.iter (fun (name, cat, h) -> Hist.merge ~into:(hist_for into ~cat name) h);
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) src.counters []
   |> List.sort compare
-  |> List.iter (fun (name, n) -> count into name n)
+  |> List.iter (fun (name, n) -> count into name n);
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) src.gauges []
+  |> List.sort compare
+  |> List.iter (fun (name, v) -> gauge into name v)
 
 (* {2 Spans} *)
 
@@ -134,9 +147,16 @@ let finish t sp =
       sp.span_stop <- Some stop;
       Hist.add (hist_for t ~cat:sp.span_cat sp.span_name) (stop -. sp.span_start)
 
+(* [with_span] also enters a profiler scope of the same name, so every
+   span-wrapped region — protocol phases, rdma quorum ops — doubles as
+   a work-attribution scope for free.  Safe across suspension: the
+   engine detaches/re-attaches profiler frames around fiber suspension,
+   and [with_span] bodies close in LIFO order per fiber.  (The raw
+   [span]/[finish] pair is NOT hooked: callers like [Memory.operation]
+   close those spans from a different fiber.) *)
 let with_span t ~actor ?cat name f =
   let sp = span t ~actor ?cat name in
-  Fun.protect ~finally:(fun () -> finish t sp) f
+  Prof.scope name (fun () -> Fun.protect ~finally:(fun () -> finish t sp) f)
 
 let span_name sp = sp.span_name
 
@@ -181,6 +201,18 @@ let summaries ?cat t =
 let counters t =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
   |> List.sort compare
+
+let gauges t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.gauges []
+  |> List.sort compare
+
+(* Fold a profiler's DETERMINISTIC plane into the collector as
+   [prof.]-prefixed counters (sorted, so insertion is order-stable).
+   The timing plane deliberately has no path into an [Obs.t]: merged
+   metrics feed digests and replay artifacts, and wall-clock must never
+   reach either. *)
+let absorb_prof t prof =
+  List.iter (fun (name, n) -> count t ("prof." ^ name) n) (Prof.totals prof)
 
 (* Drop retained entries (metrics and counters are kept). *)
 let clear_entries t =

@@ -48,8 +48,14 @@ val observe : t -> ?cat:string -> string -> float -> unit
 (** Add [n] to a named counter. *)
 val count : t -> string -> int -> unit
 
-(** [merge ~into src] folds [src]'s metrics (histograms and counters)
-    into [into], visiting names in sorted order so the fold is
+(** [gauge t name v] records a high-watermark gauge: the stored value
+    is the max of everything set (e.g. peak event-heap depth).  Max is
+    the only combination that merges associatively, so per-task peaks
+    merged in any grouping yield the batch peak. *)
+val gauge : t -> string -> float -> unit
+
+(** [merge ~into src] folds [src]'s metrics (histograms, counters and
+    gauges) into [into], visiting names in sorted order so the fold is
     order-stable: merging per-task collectors in submission order
     yields the same aggregate regardless of which domain produced
     which collector.  The raw event/span stream, clock, and
@@ -67,7 +73,9 @@ val span : t -> actor:string -> ?cat:string -> string -> span
 val finish : t -> span -> unit
 
 (** [with_span t ~actor name f] wraps [f] in a span, closing it on normal
-    return, exception, or fiber cancellation. *)
+    return, exception, or fiber cancellation.  Also enters a {!Prof}
+    scope of the same name on the installed profiler (if any), so every
+    span-wrapped region doubles as a work-attribution scope. *)
 val with_span : t -> actor:string -> ?cat:string -> string -> (unit -> 'a) -> 'a
 
 val span_name : span -> string
@@ -108,6 +116,15 @@ val summaries : ?cat:string -> t -> (string * Hist.summary) list
 
 (** Named counters, sorted. *)
 val counters : t -> (string * int) list
+
+(** High-watermark gauges, sorted. *)
+val gauges : t -> (string * float) list
+
+(** Fold a profiler's deterministic plane into [t] as [prof.]-prefixed
+    counters.  The timing plane has no path into a collector: merged
+    metrics feed digests and replay artifacts, and wall-clock must
+    never reach either. *)
+val absorb_prof : t -> Prof.t -> unit
 
 (** Drop retained entries; metrics and counters are kept. *)
 val clear_entries : t -> unit

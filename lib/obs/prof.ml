@@ -1,0 +1,267 @@
+(* Scoped work-attribution profiler with a two-plane design.
+
+   DETERMINISTIC PLANE — integer work counters (SHA-256 blocks
+   compressed, HMAC evaluations, sign/verify calls, memory operations,
+   messages, simulator events) attributed to the innermost open scope
+   at the moment of the bump.  Scheduling is deterministic, so the
+   scope stack at any bump site is a pure function of the seed: the
+   whole plane is byte-identical across repeated runs and across
+   [-j N].  It merges into an [Obs.t] (see [Obs.absorb_prof]) and may
+   appear in digests, baselines and replay artifacts.
+
+   TIMING PLANE — wall-clock self/total seconds per scope path, read
+   from {!Prof_clock} (the one sanctioned wall-clock source).  Timing
+   is reported (perf snapshots, flamegraphs) but NEVER merged into an
+   [Obs.t], never hashed, never replayed: nothing downstream of a
+   digest may depend on it.
+
+   AMBIENT INSTALLATION — instrumentation sites (sha256's compress
+   loop, the engine's event loop, the memory's issue path) have no
+   collector handle, so the current profiler is domain-local state:
+   [with_profiler] installs one for the extent of a run and every
+   [bump]/[scope] call finds it in O(1); with none installed the hooks
+   are no-ops.  Domain-local is the one mutable-global shape that keeps
+   the task-pool determinism contract: a pooled task never observes
+   another domain's profiler, and [Pool] additionally masks the
+   caller's profiler around inline task execution so [-j 1] and [-j N]
+   attribute identically (a task profiles only what it installs
+   itself).
+
+   FIBERS — a scope opened inside an engine fiber survives suspension:
+   the engine detaches the fiber's frames at every [Suspend] (pausing
+   their wall timers) and re-attaches them when the fiber resumes, so
+   scopes nest per fiber, not per domain, and time spent suspended (or
+   running other fibers) is charged to nobody.  Deterministic counts
+   are recorded eagerly at bump time, so a fiber that is cancelled
+   while suspended loses only the wall-time of its still-open frames,
+   never counts. *)
+
+type frame = {
+  id : int;
+  path : string; (* scope names joined with ';' — a collapsed stack *)
+  parent : frame option;
+  mutable attached_at : float; (* wall time of last attach, when attached *)
+  mutable ran : float; (* wall seconds accumulated over past attachments *)
+  mutable child : float; (* total seconds of directly nested closed scopes *)
+}
+
+type timing = { mutable calls : int; mutable total_s : float; mutable self_s : float }
+
+type t = {
+  clock : unit -> float;
+  mutable stack : frame list; (* innermost first *)
+  mutable depth : int;
+  mutable next_frame_id : int;
+  totals : (string, int ref) Hashtbl.t; (* counter -> total *)
+  by_path : (string * string, int ref) Hashtbl.t; (* (path, counter) -> n *)
+  times : (string, timing) Hashtbl.t; (* path -> wall self/total *)
+}
+
+let create ?clock () =
+  let clock = match clock with Some c -> c | None -> Prof_clock.now in
+  {
+    clock;
+    stack = [];
+    depth = 0;
+    next_frame_id = 0;
+    totals = Hashtbl.create 16;
+    by_path = Hashtbl.create 32;
+    times = Hashtbl.create 32;
+  }
+
+(* {2 Ambient installation} *)
+
+(* Domain-local, deliberately: see the header.  Not a cross-domain
+   global — each domain sees only the profiler it installed itself. *)
+let installed_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let installed () = Domain.DLS.get installed_key
+
+let with_profiler t f =
+  let prev = Domain.DLS.get installed_key in
+  Domain.DLS.set installed_key (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set installed_key prev) f
+
+(* Mask any installed profiler for the extent of [f]; the pool wraps
+   every task with this so inline (-j 1) execution attributes exactly
+   like worker-domain execution (which starts with no profiler). *)
+let without_profiler f =
+  let prev = Domain.DLS.get installed_key in
+  Domain.DLS.set installed_key None;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set installed_key prev) f
+
+(* {2 Deterministic plane} *)
+
+let incr_tbl tbl key n =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add tbl key (ref n)
+
+let current_path t =
+  match t.stack with [] -> "" | f :: _ -> f.path
+
+let bump_in t counter n =
+  incr_tbl t.totals counter n;
+  incr_tbl t.by_path (current_path t, counter) n
+
+let bump counter n =
+  match Domain.DLS.get installed_key with
+  | None -> ()
+  | Some t -> bump_in t counter n
+
+(* {2 Scopes (both planes)} *)
+
+let timing_for t path =
+  match Hashtbl.find_opt t.times path with
+  | Some tm -> tm
+  | None ->
+      let tm = { calls = 0; total_s = 0.; self_s = 0. } in
+      Hashtbl.add t.times path tm;
+      tm
+
+let push_frame t name =
+  let parent = match t.stack with [] -> None | f :: _ -> Some f in
+  let path =
+    match parent with None -> name | Some p -> p.path ^ ";" ^ name
+  in
+  t.next_frame_id <- t.next_frame_id + 1;
+  let frame =
+    {
+      id = t.next_frame_id;
+      path;
+      parent;
+      attached_at = t.clock ();
+      ran = 0.;
+      child = 0.;
+    }
+  in
+  t.stack <- frame :: t.stack;
+  t.depth <- t.depth + 1;
+  frame
+
+let close_frame t frame =
+  let total = frame.ran +. (t.clock () -. frame.attached_at) in
+  let tm = timing_for t frame.path in
+  tm.calls <- tm.calls + 1;
+  tm.total_s <- tm.total_s +. total;
+  tm.self_s <- tm.self_s +. Float.max 0. (total -. frame.child);
+  Option.iter (fun p -> p.child <- p.child +. total) frame.parent
+
+(* Pop [frame] (normally the top of the stack).  If an intervening
+   frame leaked — a scope body escaped without closing, which the
+   engine's detach/attach protocol prevents but a buggy instrumentation
+   site could provoke — close the leaked frames too rather than
+   corrupting the stack for every later scope. *)
+let pop_frame t frame =
+  let rec pop = function
+    | [] -> [] (* frame already gone (detached and lost); leave stack *)
+    | f :: rest ->
+        close_frame t f;
+        t.depth <- t.depth - 1;
+        if f.id = frame.id then rest else pop rest
+  in
+  match t.stack with
+  | f :: rest when f.id = frame.id ->
+      close_frame t f;
+      t.depth <- t.depth - 1;
+      t.stack <- rest
+  | stack -> if List.exists (fun f -> f.id = frame.id) stack then t.stack <- pop stack
+
+let in_scope t name f =
+  let frame = push_frame t name in
+  Fun.protect ~finally:(fun () -> pop_frame t frame) f
+
+let scope name f =
+  match Domain.DLS.get installed_key with
+  | None -> f ()
+  | Some t -> in_scope t name f
+
+(* {2 Fiber suspension support (used by the engine)} *)
+
+(* A detached segment remembers which profiler it came from, so a
+   resume delivered after the run's profiler was uninstalled (or under
+   a nested one) re-attaches to the right stack. *)
+type frames = (t * frame list) option
+
+let no_frames : frames = None
+
+let depth () =
+  match Domain.DLS.get installed_key with None -> 0 | Some t -> t.depth
+
+(* Detach every frame above [base] (the stack depth when the engine
+   dispatched the current event), pausing their wall timers.  The
+   engine calls this inside its [Suspend] handler; the frames travel
+   with the continuation and re-attach on resume. *)
+let detach_to base =
+  match Domain.DLS.get installed_key with
+  | None -> None
+  | Some t ->
+      if t.depth <= base then None
+      else begin
+        let now = t.clock () in
+        let n = t.depth - base in
+        let rec split k stack =
+          if k = 0 then ([], stack)
+          else
+            match stack with
+            | [] -> ([], [])
+            | f :: rest ->
+                f.ran <- f.ran +. (now -. f.attached_at);
+                let taken, left = split (k - 1) rest in
+                (f :: taken, left)
+        in
+        let taken, left = split n t.stack in
+        t.stack <- left;
+        t.depth <- base;
+        Some (t, taken)
+      end
+
+let attach = function
+  | None -> ()
+  | Some (t, frames) ->
+      let now = t.clock () in
+      List.iter (fun f -> f.attached_at <- now) frames;
+      (* [frames] is innermost-first, same order as the stack *)
+      t.stack <- frames @ t.stack;
+      t.depth <- t.depth + List.length frames
+
+(* {2 Read-back (all sorted, so every consumer is order-stable)} *)
+
+let totals t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.totals []
+  |> List.sort compare
+
+let display_path path = if path = "" then "(root)" else path
+
+let by_scope t =
+  let rows =
+    Hashtbl.fold
+      (fun (path, counter) r acc -> ((path, counter), !r) :: acc)
+      t.by_path []
+    |> List.sort compare
+  in
+  (* group the (path, counter)-sorted rows by path *)
+  List.fold_left
+    (fun acc ((path, counter), n) ->
+      match acc with
+      | (p, row) :: rest when p = path -> (p, (counter, n) :: row) :: rest
+      | _ -> (path, [ (counter, n) ]) :: acc)
+    [] rows
+  |> List.rev_map (fun (path, row) -> (display_path path, List.rev row))
+
+let timings t =
+  Hashtbl.fold
+    (fun path tm acc -> (path, (tm.calls, tm.total_s, tm.self_s)) :: acc)
+    t.times []
+  |> List.sort compare
+  |> List.map (fun (path, (calls, total_s, self_s)) ->
+         (display_path path, calls, total_s, self_s))
+
+(* Inject an externally measured timing row (e.g. a Bechamel estimate)
+   into the timing plane, so one snapshot carries both the profiler's
+   own scopes and harness-level wall-clock results. *)
+let add_timing t ~path ~calls ~total_s ~self_s =
+  let tm = timing_for t path in
+  tm.calls <- tm.calls + calls;
+  tm.total_s <- tm.total_s +. total_s;
+  tm.self_s <- tm.self_s +. self_s

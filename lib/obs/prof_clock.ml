@@ -1,0 +1,13 @@
+(* The profiler's timing plane reads the wall clock HERE and nowhere
+   else.  simlint's D1 rule bans wall-clock reads outside lib/sim
+   because a timestamp that reaches a digest, a replay artifact, or any
+   merged metric destroys the byte-identical-runs contract.  The
+   profiler keeps its two planes apart precisely so this module stays
+   legal: Prof routes everything derived from [now] into the
+   timing-plane tables only, which are reported (perf snapshots,
+   stderr) but never merged into an [Obs.t], never hashed, and never
+   replayed.  The [@simlint.allow "D1"] below is the single sanctioned
+   suppression; a wall-clock read anywhere else in lib/ or bin/ still
+   fails CI (see tools/simlint/fixtures/bad_wallclock.ml). *)
+
+let now () = (Unix.gettimeofday () [@simlint.allow "D1"])

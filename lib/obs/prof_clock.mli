@@ -1,0 +1,6 @@
+(** Wall-clock source for the profiler's timing plane — the only
+    sanctioned wall-clock read outside [lib/sim].  Values derived from
+    it stay in {!Prof}'s timing tables: they are reported, never merged,
+    never digested, never replayed. *)
+
+val now : unit -> float

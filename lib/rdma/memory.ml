@@ -220,12 +220,15 @@ let operation t ~span_name apply =
   let result = Ivar.create () in
   let issue_epoch = t.epoch in
   let live () = (not t.crashed) && t.epoch = issue_epoch in
+  Prof.bump "mem.ops.issued" 1;
   let sp = Obs.span t.obs ~actor:t.actor ~cat:"mem" span_name in
   Engine.schedule t.engine t.one_way (fun () ->
       if live () then begin
         let r = apply () in
         Engine.schedule t.engine t.one_way (fun () ->
             if live () then begin
+              (* issued - completed = ops swallowed by a crash/restart *)
+              Prof.bump "mem.ops.completed" 1;
               Obs.finish t.obs sp;
               Ivar.fill result r
             end)

@@ -25,6 +25,10 @@ type t = {
   mutable errors : (string * exn) list;
   mutable fiber_count : int;
   obs : Rdma_obs.Obs.t;
+  (* Profiler scope-stack depth owned by the engine's caller: frames
+     above it belong to the currently executing fiber and travel with
+     it across suspension (see the Suspend handler and [run]). *)
+  mutable prof_base : int;
 }
 
 and fiber = {
@@ -50,6 +54,7 @@ let create ?(max_steps = 20_000_000) ?(seed = 1) () =
       errors = [];
       fiber_count = 0;
       obs = Rdma_obs.Obs.create ();
+      prof_base = 0;
     }
   in
   (* The telemetry clock is virtual time: every span and event recorded
@@ -80,18 +85,25 @@ let cancel f =
 
 let schedule t delay callback =
   if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  Rdma_obs.Prof.bump "sim.heap.pushes" 1;
   t.seq <- t.seq + 1;
   Heap.push t.heap ~time:(t.now +. delay) ~seq:t.seq callback
 
-(* [resume_of t fiber k] wraps a continuation as a single-shot resume
-   function that respects cancellation and schedules through the heap,
-   preserving deterministic ordering. *)
-let resume_of t fiber k =
+(* [resume_of t fiber ~saved k] wraps a continuation as a single-shot
+   resume function that respects cancellation and schedules through the
+   heap, preserving deterministic ordering.  [saved] is the fiber's
+   detached profiler-frame segment: re-attached just before the
+   continuation runs (also on the discontinue path, so the unwinding
+   [Fun.protect]s close their frames), and left paused forever if the
+   resume never fires — a cancelled fiber loses only the wall-time of
+   its still-open frames, never deterministic counts. *)
+let resume_of t fiber ~saved k =
   let used = ref false in
   fun v ->
     if !used then invalid_arg "Engine: fiber resumed twice";
     used := true;
     schedule t 0. (fun () ->
+        Rdma_obs.Prof.attach saved;
         if fiber.cancelled then
           try Effect.Deep.discontinue k Cancelled with Cancelled -> ()
         else Effect.Deep.continue k v)
@@ -104,7 +116,14 @@ let handler t fiber =
   in
   let effc : type a. a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option
       = function
-    | Suspend f -> Some (fun k -> f t fiber (resume_of t fiber k))
+    | Suspend f ->
+        Some
+          (fun k ->
+            (* The fiber is suspending: detach its profiler frames (the
+               ones above the dispatch-time base) so the counters and
+               wall timers of other fibers never land in its scopes. *)
+            let saved = Rdma_obs.Prof.detach_to t.prof_base in
+            f t fiber (resume_of t fiber ~saved k))
     | _ -> None
   in
   { Effect.Deep.retc; exnc; effc }
@@ -144,8 +163,14 @@ let run t =
                   t.max_steps t.now))
         end;
         t.now <- time;
+        Rdma_obs.Prof.bump "sim.events.popped" 1;
+        (* Frames open here belong to the caller; anything a payload
+           opens above this depth belongs to the fiber it runs. *)
+        t.prof_base <- Rdma_obs.Prof.depth ();
         payload ()
-  done
+  done;
+  Rdma_obs.Obs.gauge t.obs "sim.heap.peak_depth"
+    (float_of_int (Heap.max_size t.heap))
 
 let suspend f = Effect.perform (Suspend f)
 

@@ -8,15 +8,18 @@ type 'a entry = { time : float; seq : int; payload : 'a }
 type 'a t = {
   mutable data : 'a entry array;
   mutable size : int;
+  mutable max_size : int; (* high watermark, for the heap-depth gauge *)
 }
 
 let dummy payload = { time = 0.; seq = 0; payload }
 
-let create () = { data = [||]; size = 0 }
+let create () = { data = [||]; size = 0; max_size = 0 }
 
 let is_empty h = h.size = 0
 
 let size h = h.size
+
+let max_size h = h.max_size
 
 let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -58,6 +61,7 @@ let push h ~time ~seq payload =
   grow h entry;
   h.data.(h.size) <- entry;
   h.size <- h.size + 1;
+  if h.size > h.max_size then h.max_size <- h.size;
   sift_up h (h.size - 1)
 
 let pop h =

@@ -13,6 +13,10 @@ val is_empty : 'a t -> bool
 
 val size : 'a t -> int
 
+(** Peak size ever reached (high watermark); feeds the engine's
+    [sim.heap.peak_depth] gauge. *)
+val max_size : 'a t -> int
+
 (** [push h ~time ~seq payload] inserts an entry. *)
 val push : 'a t -> time:float -> seq:int -> 'a -> unit
 

@@ -38,8 +38,13 @@ let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
    runtime limit. *)
 let max_workers = 64
 
+(* Tasks never inherit the caller's ambient profiler: a worker domain
+   starts with none installed, so the sequential path masks it too —
+   otherwise [-j 1] would attribute pooled work to the submitting
+   domain's scopes and [-j N] would not, breaking the byte-identical
+   contract.  A task that wants profiling installs its own. *)
 let run_task task =
-  match Task.apply task with
+  match Rdma_obs.Prof.without_profiler (fun () -> Task.apply task) with
   | r -> Ok r
   | exception exn ->
       Error { task_label = Task.label task; task_seed = Task.seed task; exn }

@@ -101,6 +101,35 @@ dune exec bench/main.exe -- -j 4 d2 m1 c1 > "$tmp/bench-j4.out"
 cmp "$tmp/bench-j1.out" "$tmp/bench-j4.out"
 echo "parallel runs deterministic: -j 4 bytes = -j 1 bytes"
 
+echo "== perf observatory =="
+# Two-plane perf regression gate: re-snapshot the deterministic
+# experiments and diff their deterministic plane (exact equality)
+# against the checked-in baselines.  Timing is machine-local, so CI
+# ignores it (--ignore-timing); the deterministic work counters are
+# the contract — any drift means the simulation did different work and
+# needs either a fix or an explicit baseline update in the diff.
+dune build tools/perfdiff/perfdiff.exe
+dune exec bench/main.exe -- d1 d2 --perf-out "$tmp/BENCH_<id>.json" \
+  > /dev/null
+dune exec tools/perfdiff/perfdiff.exe -- --ignore-timing \
+  bench/baselines/BENCH_d1.json "$tmp/BENCH_d1.json"
+dune exec tools/perfdiff/perfdiff.exe -- --ignore-timing \
+  bench/baselines/BENCH_d2.json "$tmp/BENCH_d2.json"
+
+# The gate must actually bite: inject counter drift into a copy of the
+# fresh snapshot and require perfdiff to exit nonzero on it.
+sed 's/"sha256.blocks":[0-9][0-9]*/"sha256.blocks":1/' "$tmp/BENCH_d1.json" \
+  > "$tmp/BENCH_d1_drift.json"
+drift_status=0
+dune exec tools/perfdiff/perfdiff.exe -- --ignore-timing \
+  bench/baselines/BENCH_d1.json "$tmp/BENCH_d1_drift.json" \
+  > /dev/null || drift_status=$?
+[ "$drift_status" -eq 1 ] || {
+  echo "perfdiff failed to flag injected counter drift (got $drift_status)" >&2
+  exit 1
+}
+echo "perf baselines match; injected drift detected"
+
 echo "== recovery smoke test =="
 # Crash -> recover -> repair schedules: the nemesis pairs every crash
 # with a recovery, and the oracle's repair invariant demands the

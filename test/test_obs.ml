@@ -380,10 +380,43 @@ let test_obs_merge_order_stable () =
   check bool "shared counter accumulates" true
     (List.mem ("mid.n", 6) (Obs.counters into))
 
+(* {2 Gauges} *)
+
+(* High-watermark semantics: a gauge keeps the max of everything set on
+   it, and merging folds gauges by max too (merge of peak depths is the
+   overall peak, not a sum). *)
+let test_gauge_watermark_and_merge () =
+  let a = Obs.create () in
+  Obs.gauge a "heap.peak" 4.0;
+  Obs.gauge a "heap.peak" 9.0;
+  Obs.gauge a "heap.peak" 2.0;
+  check bool "keeps the max" true (List.mem ("heap.peak", 9.0) (Obs.gauges a));
+  let b = Obs.create () in
+  Obs.gauge b "heap.peak" 7.0;
+  Obs.gauge b "only.b" 1.0;
+  let into = Obs.create () in
+  Obs.merge ~into a;
+  Obs.merge ~into b;
+  check bool "merge keeps the max" true
+    (List.mem ("heap.peak", 9.0) (Obs.gauges into));
+  check bool "merge unions names" true
+    (List.mem ("only.b", 1.0) (Obs.gauges into));
+  (* the export carries gauges alongside counters *)
+  let json = Export.metrics into in
+  check bool "export mentions gauges" true
+    (let contains hay needle =
+       let lh = String.length hay and ln = String.length needle in
+       let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+       go 0
+     in
+     contains json "\"gauges\"" && contains json "heap.peak")
+
 let suite =
   [
     Alcotest.test_case "span nesting under virtual time" `Quick
       test_span_nesting;
+    Alcotest.test_case "gauge high watermark and merge" `Quick
+      test_gauge_watermark_and_merge;
     Alcotest.test_case "with_span closes on fiber cancellation" `Quick
       test_span_survives_cancel;
     Alcotest.test_case "histogram percentiles vs brute-force sort" `Quick

@@ -1,0 +1,213 @@
+(* Perf-snapshot comparison: the CI regression gate's engine.
+
+   A snapshot (written by `bench/main.exe --perf-out` or `rdma_agreement
+   run --perf-out`) has two planes with two different contracts:
+
+   - the deterministic plane (work counters, per scope) must match a
+     baseline EXACTLY — same key set, same values.  Any difference is a
+     behavioural change: the simulation did different work, which either
+     needs a baseline update (intended) or is a regression (not).
+
+   - the timing plane (wall-clock per scope) is noisy by nature, so it
+     is compared with a relative threshold plus an absolute floor, and
+     only flagged when it got slower.  Faster is reported but never
+     fails the diff.
+
+   Exit discipline for the CLI (see perfdiff.ml): 0 clean, 1 regression,
+   2 usage/parse error. *)
+
+open Rdma_obs
+
+type counter_drift = { key : string; old_v : int option; new_v : int option }
+
+type timing_delta = {
+  path : string;
+  old_s : float;
+  new_s : float;
+  ratio : float;  (* new/old *)
+}
+
+type report = {
+  old_id : string;
+  new_id : string;
+  det_drift : counter_drift list;  (* sorted by key; empty = planes equal *)
+  regressions : timing_delta list;
+  improvements : timing_delta list;
+}
+
+let supported_version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_snapshot ~file contents =
+  match Json.parse contents with
+  | Error e -> Error (Printf.sprintf "%s: not valid JSON: %s" file e)
+  | Ok json -> (
+      match Json.member "version" json with
+      | Some (Json.Int v) when v = supported_version -> Ok json
+      | Some (Json.Int v) ->
+          Error
+            (Printf.sprintf "%s: snapshot version %d, this tool reads %d" file
+               v supported_version)
+      | _ -> Error (Printf.sprintf "%s: not a perf snapshot (no version)" file))
+
+let load file =
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> parse_snapshot ~file contents
+  | exception Sys_error e -> Error e
+
+let id_of json =
+  match Json.member "id" json with Some (Json.String s) -> s | _ -> "?"
+
+(* Flatten the deterministic plane into one sorted assoc list:
+   "counters:NAME" for totals, "scopes:PATH:NAME" per scope.  Flattening
+   makes "key present on one side only" and "value changed" the same
+   kind of finding. *)
+let det_entries json =
+  let det = Json.member "deterministic" json in
+  let obj_fields = function Some (Json.Obj fields) -> fields | _ -> [] in
+  let counters =
+    List.filter_map
+      (function name, Json.Int n -> Some ("counters:" ^ name, n) | _ -> None)
+      (obj_fields (Option.bind det (Json.member "counters")))
+  in
+  let scopes =
+    List.concat_map
+      (fun (path, per_scope) ->
+        match per_scope with
+        | Json.Obj fields ->
+            List.filter_map
+              (function
+                | name, Json.Int n ->
+                    Some (Printf.sprintf "scopes:%s:%s" path name, n)
+                | _ -> None)
+              fields
+        | _ -> [])
+      (obj_fields (Option.bind det (Json.member "scopes")))
+  in
+  List.sort compare (counters @ scopes)
+
+(* total_s per timing path. *)
+let timing_entries json =
+  let scopes =
+    Option.bind (Json.member "timing" json) (Json.member "scopes")
+  in
+  match scopes with
+  | Some (Json.Obj fields) ->
+      List.filter_map
+        (fun (path, row) ->
+          match Json.member "total_s" row with
+          | Some (Json.Float s) -> Some (path, s)
+          | Some (Json.Int s) -> Some (path, float_of_int s)
+          | _ -> None)
+        fields
+      |> List.sort compare
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Merge-walk two sorted assoc lists producing drift rows for every key
+   whose value differs or that is missing on one side. *)
+let diff_sorted old_entries new_entries =
+  let rec go acc olds news =
+    match (olds, news) with
+    | [], [] -> List.rev acc
+    | (k, v) :: olds', [] ->
+        go ({ key = k; old_v = Some v; new_v = None } :: acc) olds' []
+    | [], (k, v) :: news' ->
+        go ({ key = k; old_v = None; new_v = Some v } :: acc) [] news'
+    | (ko, vo) :: olds', (kn, vn) :: news' ->
+        if ko = kn then
+          if vo = vn then go acc olds' news'
+          else
+            go ({ key = ko; old_v = Some vo; new_v = Some vn } :: acc) olds'
+              news'
+        else if ko < kn then
+          go ({ key = ko; old_v = Some vo; new_v = None } :: acc) olds' news
+        else go ({ key = kn; old_v = None; new_v = Some vn } :: acc) olds news'
+  in
+  go [] old_entries new_entries
+
+(* Noise guards for the timing plane: a path only counts as a regression
+   (or improvement) when it moved by more than [threshold] relatively
+   AND more than [abs_floor_s] absolutely — microsecond scopes jitter by
+   large ratios without meaning anything. *)
+let abs_floor_s = 0.001
+
+let diff_timing ~threshold old_entries new_entries =
+  let regs = ref [] and imps = ref [] in
+  List.iter
+    (fun (path, old_s) ->
+      match List.assoc_opt path new_entries with
+      | None -> ()
+      | Some new_s ->
+          let delta = { path; old_s; new_s; ratio = new_s /. old_s } in
+          if new_s > (old_s *. (1. +. threshold)) +. abs_floor_s then
+            regs := delta :: !regs
+          else if new_s < (old_s *. (1. -. threshold)) -. abs_floor_s then
+            imps := delta :: !imps)
+    old_entries;
+  (List.rev !regs, List.rev !imps)
+
+let compare_snapshots ?(timing_threshold = 0.25) ?(ignore_timing = false)
+    old_json new_json =
+  let det_drift = diff_sorted (det_entries old_json) (det_entries new_json) in
+  let regressions, improvements =
+    if ignore_timing then ([], [])
+    else
+      diff_timing ~threshold:timing_threshold (timing_entries old_json)
+        (timing_entries new_json)
+  in
+  {
+    old_id = id_of old_json;
+    new_id = id_of new_json;
+    det_drift;
+    regressions;
+    improvements;
+  }
+
+let has_regression r = r.det_drift <> [] || r.regressions <> []
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_value ppf = function
+  | Some v -> Fmt.pf ppf "%d" v
+  | None -> Fmt.pf ppf "(absent)"
+
+let pp_report ppf r =
+  Fmt.pf ppf "perfdiff %s -> %s@." r.old_id r.new_id;
+  (match r.det_drift with
+  | [] -> Fmt.pf ppf "deterministic plane: OK (exact match)@."
+  | drift ->
+      Fmt.pf ppf "deterministic plane: %d drifted key(s)@."
+        (List.length drift);
+      List.iter
+        (fun d ->
+          Fmt.pf ppf "  DRIFT %-56s %a -> %a@." d.key pp_value d.old_v pp_value
+            d.new_v)
+        drift);
+  (match r.regressions with
+  | [] -> ()
+  | regs ->
+      Fmt.pf ppf "timing plane: %d regression(s)@." (List.length regs);
+      List.iter
+        (fun d ->
+          Fmt.pf ppf "  SLOWER %-55s %.4fs -> %.4fs (x%.2f)@." d.path d.old_s
+            d.new_s d.ratio)
+        regs);
+  List.iter
+    (fun d ->
+      Fmt.pf ppf "  faster %-55s %.4fs -> %.4fs (x%.2f)@." d.path d.old_s
+        d.new_s d.ratio)
+    r.improvements

@@ -1,0 +1,43 @@
+(* perfdiff OLD NEW — compare two perf snapshots.
+
+   Exit 0 when NEW matches OLD (deterministic plane exact, timing within
+   threshold), 1 on any regression, 2 on usage or parse errors.
+
+     perfdiff bench/baselines/BENCH_d1.json /tmp/BENCH_d1.json
+     perfdiff --ignore-timing OLD NEW      # deterministic plane only
+     perfdiff --timing-threshold 0.5 OLD NEW *)
+
+let usage () =
+  Fmt.epr
+    "usage: perfdiff [--timing-threshold R] [--ignore-timing] OLD NEW@.";
+  exit 2
+
+let () =
+  let rec parse (threshold, ignore_timing, files) = function
+    | [] -> (threshold, ignore_timing, List.rev files)
+    | "--ignore-timing" :: rest -> parse (threshold, true, files) rest
+    | "--timing-threshold" :: r :: rest -> (
+        match float_of_string_opt r with
+        | Some t when t >= 0. -> parse (t, ignore_timing, files) rest
+        | _ -> usage ())
+    | arg :: rest ->
+        if String.length arg > 0 && arg.[0] = '-' then usage ()
+        else parse (threshold, ignore_timing, arg :: files) rest
+  in
+  let threshold, ignore_timing, files =
+    parse (0.25, false, []) (List.tl (Array.to_list Sys.argv))
+  in
+  match files with
+  | [ old_file; new_file ] -> (
+      match (Pdiff.load old_file, Pdiff.load new_file) with
+      | Error e, _ | _, Error e ->
+          Fmt.epr "perfdiff: %s@." e;
+          exit 2
+      | Ok old_json, Ok new_json ->
+          let report =
+            Pdiff.compare_snapshots ~timing_threshold:threshold ~ignore_timing
+              old_json new_json
+          in
+          Fmt.pr "%a" Pdiff.pp_report report;
+          if Pdiff.has_regression report then exit 1)
+  | _ -> usage ()

@@ -1,0 +1,100 @@
+(* Golden tests for the perf-snapshot differ: an identical pair is
+   clean, deterministic-counter drift always fails, timing noise below
+   the threshold passes, a big slowdown fails unless --ignore-timing,
+   and an improvement never fails. *)
+
+let load name =
+  match Pdiff.load (Filename.concat "fixtures" name) with
+  | Ok json -> json
+  | Error e -> Alcotest.failf "fixture %s: %s" name e
+
+let diff ?timing_threshold ?ignore_timing old_name new_name =
+  Pdiff.compare_snapshots ?timing_threshold ?ignore_timing (load old_name)
+    (load new_name)
+
+let test_identical () =
+  let r = diff "baseline.json" "identical.json" in
+  Alcotest.(check bool) "clean" false (Pdiff.has_regression r);
+  Alcotest.(check int) "no drift" 0 (List.length r.Pdiff.det_drift);
+  Alcotest.(check int) "no slow" 0 (List.length r.Pdiff.regressions);
+  Alcotest.(check int) "no fast" 0 (List.length r.Pdiff.improvements)
+
+let test_det_drift () =
+  let r = diff "baseline.json" "regressed_det.json" in
+  Alcotest.(check bool) "regression" true (Pdiff.has_regression r);
+  (* 1000 -> 1017 in both the total and the cluster.run scope, plus a
+     scope key that only the new snapshot has: 3 drift rows. *)
+  Alcotest.(check int) "drift rows" 3 (List.length r.Pdiff.det_drift);
+  let changed =
+    List.find
+      (fun d -> d.Pdiff.key = "counters:sha256.blocks")
+      r.Pdiff.det_drift
+  in
+  Alcotest.(check (option int)) "old" (Some 1000) changed.Pdiff.old_v;
+  Alcotest.(check (option int)) "new" (Some 1017) changed.Pdiff.new_v;
+  let added =
+    List.find
+      (fun d -> d.Pdiff.key = "scopes:cluster.run;extra.scope:hmac.macs")
+      r.Pdiff.det_drift
+  in
+  Alcotest.(check (option int)) "absent before" None added.Pdiff.old_v
+
+let test_det_drift_ignores_timing_flag () =
+  (* --ignore-timing must never mask deterministic drift. *)
+  let r = diff ~ignore_timing:true "baseline.json" "regressed_det.json" in
+  Alcotest.(check bool) "still a regression" true (Pdiff.has_regression r)
+
+let test_timing_regression () =
+  let r = diff "baseline.json" "regressed_timing.json" in
+  Alcotest.(check int) "det clean" 0 (List.length r.Pdiff.det_drift);
+  Alcotest.(check bool) "regression" true (Pdiff.has_regression r);
+  Alcotest.(check int) "one slow path" 1 (List.length r.Pdiff.regressions);
+  let d = List.hd r.Pdiff.regressions in
+  Alcotest.(check string) "path" "cluster.run" d.Pdiff.path
+
+let test_timing_threshold () =
+  (* 0.2s -> 0.9s is x4.5: a 400% threshold lets it pass. *)
+  let r =
+    diff ~timing_threshold:4.0 "baseline.json" "regressed_timing.json"
+  in
+  Alcotest.(check bool) "within threshold" false (Pdiff.has_regression r)
+
+let test_ignore_timing () =
+  let r = diff ~ignore_timing:true "baseline.json" "regressed_timing.json" in
+  Alcotest.(check bool) "clean" false (Pdiff.has_regression r)
+
+let test_improvement () =
+  let r = diff "baseline.json" "improved_timing.json" in
+  Alcotest.(check bool) "clean" false (Pdiff.has_regression r);
+  Alcotest.(check int) "both paths faster" 2
+    (List.length r.Pdiff.improvements)
+
+let test_bad_version () =
+  match
+    Pdiff.parse_snapshot ~file:"v9" {|{"version":9,"id":"x"}|}
+  with
+  | Ok _ -> Alcotest.fail "version 9 accepted"
+  | Error e ->
+      let contains hay needle =
+        let lh = String.length hay and ln = String.length needle in
+        let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "mentions version" true (contains e "version")
+
+let () =
+  Alcotest.run "perfdiff"
+    [
+      ( "diff",
+        [
+          Alcotest.test_case "identical" `Quick test_identical;
+          Alcotest.test_case "det drift" `Quick test_det_drift;
+          Alcotest.test_case "det drift vs --ignore-timing" `Quick
+            test_det_drift_ignores_timing_flag;
+          Alcotest.test_case "timing regression" `Quick test_timing_regression;
+          Alcotest.test_case "timing threshold" `Quick test_timing_threshold;
+          Alcotest.test_case "ignore timing" `Quick test_ignore_timing;
+          Alcotest.test_case "improvement" `Quick test_improvement;
+          Alcotest.test_case "bad version" `Quick test_bad_version;
+        ] );
+    ]

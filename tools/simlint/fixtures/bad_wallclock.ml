@@ -1,0 +1,5 @@
+(* D1: wall-clock reads OUTSIDE the sanctioned timing module
+   (lib/obs/prof_clock.ml) are still findings — the profiler's timing
+   plane does not license ambient time anywhere else. *)
+let now () = Unix.gettimeofday ()
+let cpu_seconds () = Sys.time ()

@@ -59,6 +59,8 @@ let test_corpus () =
       ("bad_d6.ml", "D6", 5);
       ("bad_d6.ml", "D6", 6);
       ("bad_d6.ml", "D6", 7);
+      ("bad_wallclock.ml", "D1", 4);
+      ("bad_wallclock.ml", "D1", 5);
       ("uses_proto.ml", "D3", 5);
     ]
     (lint all_fixtures)
