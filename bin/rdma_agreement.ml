@@ -121,6 +121,26 @@ let machine_conv =
   let print ppf (pid, mid, at) = Fmt.pf ppf "%d:%d@%.1f" pid mid at in
   Arg.conv (parse, print)
 
+(* "strict" | "completion-lag[:MAX_LAG]" | "reordered-qp[:WINDOW]" *)
+let ordering_conv =
+  let parse s =
+    match Rdma_mem.Ordering.of_string s with
+    | Ok mode -> Ok mode
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Rdma_mem.Ordering.pp)
+
+let ordering_arg =
+  let doc =
+    "Memory-ordering model for the RDMA substrate: $(b,strict) (completion \
+     implies remote apply — today's default), $(b,completion-lag)[:MAX_LAG] \
+     (the issuer's completion can arrive before the write applies remotely; \
+     per-op lag is seeded), or $(b,reordered-qp)[:WINDOW] (in-flight same-QP \
+     ops may apply out of issue order within the window)."
+  in
+  Arg.(value & opt (some ordering_conv) None
+      & info [ "ordering" ] ~docv:"MODE" ~doc)
+
 let run_cmd =
   let algo =
     let doc = "Algorithm to run (see the list command)." in
@@ -211,8 +231,8 @@ let run_cmd =
     Arg.(value & opt (some string) None & info [ "flame-out" ] ~docv:"FILE" ~doc)
   in
   let action name n m seed inputs crash_procs crash_mems recover_mems
-      restart_machines leaders gst trace trace_out metrics_out perf_out
-      flame_out =
+      restart_machines leaders gst ordering trace trace_out metrics_out
+      perf_out flame_out =
     match find_algorithm name with
     | None ->
         Fmt.epr "unknown algorithm %s; try the list command@." name;
@@ -227,7 +247,10 @@ let run_cmd =
           end
         in
         let faults =
-          List.map (fun (pid, at) -> Fault.Crash_process { pid; at }) crash_procs
+          (match ordering with
+          | Some mode -> [ Fault.Set_ordering { mode } ]
+          | None -> [])
+          @ List.map (fun (pid, at) -> Fault.Crash_process { pid; at }) crash_procs
           @ List.map (fun (mid, at) -> Fault.Crash_memory { mid; at }) crash_mems
           @ List.map (fun (mid, at) -> Fault.Recover_memory { mid; at }) recover_mems
           @ List.map
@@ -330,8 +353,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const action $ algo $ n $ m $ seed $ inputs $ crash_procs $ crash_mems
-      $ recover_mems $ restart_machines $ leaders $ gst $ trace $ trace_out
-      $ metrics_out $ perf_out $ flame_out)
+      $ recover_mems $ restart_machines $ leaders $ gst $ ordering_arg $ trace
+      $ trace_out $ metrics_out $ perf_out $ flame_out)
 
 let fuzz_cmd =
   let algo =
@@ -552,7 +575,7 @@ let chaos_explore_cmd =
             ~doc:"Write the batch's merged metrics snapshot to $(docv).")
   in
   let action name runs seed adversary byzantine over_budget out expect_violations
-      jobs metrics_out =
+      jobs metrics_out ordering =
     let scenario = find_scenario name in
     let options =
       {
@@ -563,6 +586,7 @@ let chaos_explore_cmd =
         byz = byzantine;
         over_budget;
         jobs;
+        ordering;
       }
     in
     let batch = Explore.explore ~options scenario in
@@ -600,7 +624,8 @@ let chaos_explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
       const action $ chaos_scenario_pos $ runs $ seed $ adversary $ byzantine
-      $ over_budget $ out $ expect_violations $ jobs $ metrics_out)
+      $ over_budget $ out $ expect_violations $ jobs $ metrics_out
+      $ ordering_arg)
 
 let chaos_replay_cmd =
   let open Rdma_chaos in

@@ -27,6 +27,10 @@ type options = {
   over_budget : bool;  (* lift the crash budget past the fault model *)
   shrink_runs : int;  (* probe cap for the shrinker *)
   jobs : int;  (* worker domains for case runs and shrink batches *)
+  ordering : Rdma_mem.Ordering.mode option;
+      (* force every case onto this memory-ordering model; None = let
+         the scenario budget's [orderings] pool decide (strict for all
+         registered scenarios today) *)
 }
 
 let default_options =
@@ -38,6 +42,7 @@ let default_options =
     over_budget = false;
     shrink_runs = 200;
     jobs = 1;
+    ordering = None;
   }
 
 type failure = {
@@ -106,7 +111,8 @@ let case_task scenario (options : options) i =
     (fun ~seed ->
       let case =
         Scenario.generate scenario ~adversary:options.adversary
-          ~byz:options.byz ~over_budget:options.over_budget ~seed ()
+          ~byz:options.byz ~over_budget:options.over_budget
+          ?ordering:options.ordering ~seed ()
       in
       let obs = ref None in
       (* Each primary run carries its own work profiler; its

@@ -16,6 +16,11 @@ type options = {
   over_budget : bool;  (** lift the crash budget past the fault model *)
   shrink_runs : int;  (** probe cap for the shrinker *)
   jobs : int;  (** worker domains for case runs and shrink batches *)
+  ordering : Rdma_mem.Ordering.mode option;
+      (** force every case onto this memory-ordering model; [None] = the
+          scenario budget's [orderings] pool decides.  Forcing consumes
+          no generator draws, so the rest of each schedule is
+          byte-identical to the strict batch of the same seeds *)
 }
 
 val default_options : options

@@ -4,11 +4,23 @@
    re-serializes bit-for-bit. *)
 
 open Rdma_consensus
+open Rdma_mem
 open Rdma_obs
 
 let f x = Json.Float x
 
 let i x = Json.Int x
+
+(* The ordering mode rides in the schedule as a regular fault, so repro
+   artifacts, ddmin shrinking and -j N replay all round-trip it without
+   any side channel; the parameter is a JSON number (the Json printer's
+   fixed float image), never a formatted string. *)
+let ordering_to_json = function
+  | Ordering.Strict -> [ ("mode", Json.String "strict") ]
+  | Ordering.Completion_lag { max_lag } ->
+      [ ("mode", Json.String "completion-lag"); ("max_lag", f max_lag) ]
+  | Ordering.Reorder_qp { window } ->
+      [ ("mode", Json.String "reordered-qp"); ("window", f window) ]
 
 let to_json = function
   | Fault.Crash_process { pid; at } ->
@@ -50,6 +62,8 @@ let to_json = function
           ("mid", i mid);
           ("at", f at);
         ]
+  | Fault.Set_ordering { mode } ->
+      Json.Obj (("kind", Json.String "set-ordering") :: ordering_to_json mode)
 
 let num_field name json =
   match Json.member name json with
@@ -123,6 +137,19 @@ let of_json json =
           let* mid = int_field "mid" json in
           let* at = num_field "at" json in
           Ok (Fault.Restart_machine { pid; mid; at })
+      | "set-ordering" -> (
+          match Json.member "mode" json with
+          | Some (Json.String "strict") ->
+              Ok (Fault.Set_ordering { mode = Ordering.Strict })
+          | Some (Json.String "completion-lag") ->
+              let* max_lag = num_field "max_lag" json in
+              Ok (Fault.Set_ordering { mode = Ordering.Completion_lag { max_lag } })
+          | Some (Json.String "reordered-qp") ->
+              let* window = num_field "window" json in
+              Ok (Fault.Set_ordering { mode = Ordering.Reorder_qp { window } })
+          | Some (Json.String other) ->
+              Error (Printf.sprintf "fault: unknown ordering mode %S" other)
+          | _ -> Error "fault: set-ordering without mode")
       | other -> Error (Printf.sprintf "fault: unknown kind %S" other))
   | _ -> Error "fault: missing kind"
 

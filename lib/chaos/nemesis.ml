@@ -38,6 +38,11 @@ type budget = {
       (* how many memory/machine crashes get paired with a later
          Recover_memory/Restart_machine; recoveries ride along outside
          the max_faults cap *)
+  orderings : Rdma_mem.Ordering.mode list;
+      (* weak memory-ordering models the nemesis may install (one
+         Set_ordering per case, drawn alongside "leave it strict");
+         empty = always strict.  The pick rides outside max_faults: it
+         is hardware configuration, not an injected event *)
 }
 
 (* Lift the crash constraints of a budget: every process and memory
@@ -99,8 +104,28 @@ let at rng horizon = Random.State.float rng horizon
    scheduled crashes, mirroring the fault models where crashed and
    Byzantine processes count against the same fP. *)
 let generate ~budget ~n ~m ?(attack_pool = []) ?(max_byz = 0)
-    ?(phases = []) ?(adversary = false) ~seed () =
+    ?(phases = []) ?(adversary = false) ?ordering ~seed () =
   let rng = Random.State.make [| 0x6e656d65; seed |] in
+  (* Ordering model first.  A forced [?ordering] (scenario config / CLI
+     --ordering) consumes no draws, so the rest of the schedule is
+     byte-identical to the strict run of the same seed — weak-mode grids
+     differ from their strict baseline only in the model.  Otherwise the
+     budget's pool is drawn from, with "leave it strict" as one more
+     face of the die; an empty pool consumes no draws either, keeping
+     legacy schedules stable. *)
+  let ordering_faults =
+    match ordering with
+    | Some mode ->
+        if Rdma_mem.Ordering.equal mode Rdma_mem.Ordering.Strict then []
+        else [ Fault.Set_ordering { mode } ]
+    | None -> (
+        match budget.orderings with
+        | [] -> []
+        | pool -> (
+            match Random.State.int rng (List.length pool + 1) with
+            | 0 -> []
+            | idx -> [ Fault.Set_ordering { mode = List.nth pool (idx - 1) } ]))
+  in
   let fp_pool = ref budget.max_process_crashes in
   (* Byzantine replacements: up to max_byz, drawn from the shared pool. *)
   let byz =
@@ -278,7 +303,12 @@ let generate ~budget ~n ~m ?(attack_pool = []) ?(max_byz = 0)
             Fault.Heal { at = heal_at } :: Fault.Partition { pairs; at = start }
             :: !faults
   done;
-  { case_seed = seed; faults = List.rev !faults @ leader_fix; byz; triggers }
+  {
+    case_seed = seed;
+    faults = ordering_faults @ List.rev !faults @ leader_fix;
+    byz;
+    triggers;
+  }
 
 let pp_case ppf case =
   Fmt.pf ppf "seed=%d faults=[%a]%a%a" case.case_seed

@@ -23,6 +23,12 @@ type budget = {
           [Recover_memory]/[Restart_machine] at crash + 2.0 + U[0,
           horizon/2); recoveries ride along outside the [max_faults]
           cap *)
+  orderings : Rdma_mem.Ordering.mode list;
+      (** weak memory-ordering models the nemesis may install (one
+          [Fault.Set_ordering] per case, drawn alongside "leave it
+          strict"); empty = always strict.  Rides outside [max_faults]:
+          an ordering model is hardware configuration, not an injected
+          event *)
 }
 
 (** Lift the crash constraints (all processes and memories become
@@ -54,7 +60,11 @@ val pp_case : Format.formatter -> case -> unit
 
 (** Deterministically generate one case from [seed].  [attack_pool]
     names the Byzantine behaviours the scenario allows; [phases] the
-    span names the telemetry adversary may hook. *)
+    span names the telemetry adversary may hook.  [ordering] forces the
+    memory-ordering model without consuming any draws — the rest of the
+    schedule stays byte-identical to the strict run of the same seed
+    (forcing [Strict] emits no fault); when absent, the budget's
+    [orderings] pool is drawn from. *)
 val generate :
   budget:budget ->
   n:int ->
@@ -63,6 +73,7 @@ val generate :
   ?max_byz:int ->
   ?phases:string list ->
   ?adversary:bool ->
+  ?ordering:Rdma_mem.Ordering.mode ->
   seed:int ->
   unit ->
   case

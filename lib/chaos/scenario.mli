@@ -61,12 +61,15 @@ val run : ?prepare:(string Cluster.t -> unit) -> t -> Nemesis.case -> outcome
 
 (** Generate the case for [seed] under this scenario's constraints.
     [over_budget] lifts the crash budget past the fault model (expected
-    violations — shrinker fodder). *)
+    violations — shrinker fodder).  [ordering] forces the memory-ordering
+    model without consuming any draws, so the rest of the schedule stays
+    byte-identical to the strict run of the same seed. *)
 val generate :
   t ->
   ?adversary:bool ->
   ?byz:bool ->
   ?over_budget:bool ->
+  ?ordering:Rdma_mem.Ordering.mode ->
   seed:int ->
   unit ->
   Nemesis.case

@@ -32,6 +32,12 @@ type t =
   | Restart_machine of { pid : int; mid : int; at : float }
       (* restart a full machine: the memory rejoins empty and the process
          re-runs its program from the top *)
+  | Set_ordering of { mode : Rdma_mem.Ordering.mode }
+      (* install a weak memory-ordering model on every memory, at
+         schedule-install time (a NIC's ordering behaviour is a property
+         of the hardware, not a mid-run event); per-op lag/reorder
+         decisions come from the run's seed, so replay and ddmin shrink
+         reproduce them verbatim *)
 [@@simlint.protocol]
 (* simlint D3: a new fault constructor must be handled (or consciously
    ignored) by every schedule generator, codec, and oracle — no silent
@@ -64,7 +70,7 @@ let validate cluster fault =
           check_pid src;
           check_pid dst)
         pairs
-  | Async_until _ | Random_latency _ | Heal _ -> ()
+  | Async_until _ | Random_latency _ | Heal _ | Set_ordering _ -> ()
 
 let apply cluster faults =
   List.iter (validate cluster) faults;
@@ -92,7 +98,8 @@ let apply cluster faults =
       | Heal { at } -> at_time at (fun () -> Network.heal (Cluster.net cluster))
       | Recover_memory { mid; at } -> Cluster.restart_memory_at cluster ~at mid
       | Restart_machine { pid; mid; at } ->
-          Cluster.restart_machine_at cluster ~at ~pid ~mid)
+          Cluster.restart_machine_at cluster ~at ~pid ~mid
+      | Set_ordering { mode } -> Cluster.set_ordering cluster mode)
     faults
 
 let pp ppf = function
@@ -110,3 +117,4 @@ let pp ppf = function
   | Recover_memory { mid; at } -> Fmt.pf ppf "recover mu%d@%.1f" mid at
   | Restart_machine { pid; mid; at } ->
       Fmt.pf ppf "restart machine(p%d,mu%d)@%.1f" pid mid at
+  | Set_ordering { mode } -> Fmt.pf ppf "ordering:=%a" Rdma_mem.Ordering.pp mode

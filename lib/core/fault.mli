@@ -26,6 +26,10 @@ type t =
   | Restart_machine of { pid : int; mid : int; at : float }
       (** restart a full machine: the memory rejoins empty and the
           process re-runs its program from the top *)
+  | Set_ordering of { mode : Rdma_mem.Ordering.mode }
+      (** install a weak memory-ordering model on every memory at
+          schedule-install time; per-op lag/reorder decisions come from
+          the run's seed, so replay and shrinking reproduce them *)
 
 (** Schedule the faults on the cluster.  Raises [Invalid_argument] if a
     fault targets a pid or mid outside the cluster — a typo'd target

@@ -75,7 +75,8 @@ let schedule_repoint t =
       end)
 
 let create ?(seed = 1) ?(max_steps = 20_000_000) ?(latency = 1.0)
-    ?(legal_change = Permission.static_permissions) ?(initial_leader = 0) ~n ~m () =
+    ?(legal_change = Permission.static_permissions) ?(initial_leader = 0)
+    ?(ordering = Ordering.Strict) ~n ~m () =
   let engine = Engine.create ~max_steps ~seed () in
   let stats = Stats.create () in
   let trace = Trace.create () in
@@ -89,9 +90,13 @@ let create ?(seed = 1) ?(max_steps = 20_000_000) ?(latency = 1.0)
     ~on_verify:(fun ~ok ->
       Stats.incr_verifications stats;
       Obs.event obs ~actor:"crypto" (Event.Verify { ok }));
+  (* The run's seed also keys each memory's per-op ordering stream, so a
+     chaos schedule replays its weak-mode lag/reorder decisions
+     verbatim. *)
   let memories =
     Array.init m (fun mid ->
-        Memory.create ~one_way:(latency *. 1.0) ~legal_change ~engine ~stats ~mid ())
+        Memory.create ~one_way:(latency *. 1.0) ~legal_change ~ordering ~seed
+          ~engine ~stats ~mid ())
   in
   let net = Network.create ~latency ~engine ~stats ~n () in
   let omega = Omega.create ~engine ~initial:initial_leader in
@@ -143,6 +148,17 @@ let m t = t.m
 let memories t = t.memories
 
 let memory t i = t.memories.(i)
+
+(* Install a memory-ordering model on every memory — the chaos harness
+   applies this at schedule-install time (t = 0) via
+   [Fault.Set_ordering]. *)
+let set_ordering t mode = Array.iter (fun m -> Memory.set_ordering m mode) t.memories
+
+(* The model in force: the memories always share one mode ([Strict]
+   with m = 0). *)
+let ordering t =
+  if Array.length t.memories = 0 then Ordering.Strict
+  else Memory.ordering t.memories.(0)
 
 let net t = t.net
 

@@ -30,12 +30,17 @@ type 'm ctx = {
           the process when a crash is injected. *)
 }
 
+(** [ordering] (default {!Rdma_mem.Ordering.Strict}) installs a memory
+    ordering model on every memory; the cluster seed keys the per-op
+    lag/reorder streams, so the same seed replays the same weak-mode
+    decisions. *)
 val create :
   ?seed:int ->
   ?max_steps:int ->
   ?latency:float ->
   ?legal_change:Permission.legal_change ->
   ?initial_leader:int ->
+  ?ordering:Rdma_mem.Ordering.mode ->
   n:int ->
   m:int ->
   unit ->
@@ -54,6 +59,13 @@ val m : 'm t -> int
 val memories : 'm t -> Memory.t array
 
 val memory : 'm t -> int -> Memory.t
+
+(** Install a memory-ordering model on every memory (the chaos harness
+    calls this at schedule-install time, t = 0). *)
+val set_ordering : 'm t -> Rdma_mem.Ordering.mode -> unit
+
+(** The model in force ({!Rdma_mem.Ordering.Strict} when m = 0). *)
+val ordering : 'm t -> Rdma_mem.Ordering.mode
 
 val net : 'm t -> 'm Network.t
 

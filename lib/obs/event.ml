@@ -27,6 +27,7 @@ type t =
       ok : bool;
     }
   | Mem_perm of { pid : int; mid : int; region : string; applied : bool }
+  | Mem_fence of { pid : int; mid : int }
   | Mem_restart of { mid : int; epoch : int }
   | Verbs_mr of { mid : int; region : string; op : string }
   | Sign of { pid : int }
@@ -45,6 +46,7 @@ let name = function
   | Mem_write _ -> "mem.write"
   | Mem_write_many _ -> "mem.write_many"
   | Mem_perm _ -> "mem.perm"
+  | Mem_fence _ -> "mem.fence"
   | Mem_restart _ -> "mem.restart"
   | Verbs_mr _ -> "verbs.mr"
   | Sign _ -> "crypto.sign"
@@ -58,7 +60,7 @@ let name = function
 let cat = function
   | Net_send _ | Net_deliver _ -> "net"
   | Mem_read _ | Mem_read_many _ | Mem_write _ | Mem_write_many _ | Mem_perm _
-  | Mem_restart _ ->
+  | Mem_fence _ | Mem_restart _ ->
       "mem"
   | Verbs_mr _ -> "verbs"
   | Sign _ | Verify _ -> "crypto"
@@ -102,6 +104,7 @@ let fields = function
         ("region", Json.String region);
         ("applied", Json.Bool applied);
       ]
+  | Mem_fence { pid; mid } -> [ ("pid", Json.Int pid); ("mid", Json.Int mid) ]
   | Mem_restart { mid; epoch } ->
       [ ("mid", Json.Int mid); ("epoch", Json.Int epoch) ]
   | Verbs_mr { mid; region; op } ->

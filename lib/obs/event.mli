@@ -23,6 +23,7 @@ type t =
       ok : bool;
     }
   | Mem_perm of { pid : int; mid : int; region : string; applied : bool }
+  | Mem_fence of { pid : int; mid : int }
   | Mem_restart of { mid : int; epoch : int }
   | Verbs_mr of { mid : int; region : string; op : string }
   | Sign of { pid : int }

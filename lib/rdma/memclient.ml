@@ -101,6 +101,40 @@ let change_permission_quorum ?k t ~region ~perm =
   client_span t "rdma.perm_quorum" (fun () ->
       Par.await_k (change_permission_all_async t ~region ~perm) k)
 
+(* {2 Fences}
+
+   The explicit flush of the weak ordering models (see [Ordering]): a
+   fence on a memory completes once every op this client issued there
+   before the fence has been applied.  Under [Ordering.Strict] every
+   per-memory fence is an already-full ivar, and the client-side
+   wrappers below short-circuit entirely — no span, no suspension — so
+   algorithms fence unconditionally at zero strict-mode cost. *)
+
+let all_strict t =
+  Array.for_all (fun m -> Memory.ordering m = Ordering.Strict) t.memories
+
+let fence_all_async t =
+  Array.map (fun m -> Memory.fence_async m ~from:t.pid) t.memories
+
+let fence t ~mem =
+  if Memory.ordering t.memories.(mem) = Ordering.Strict then Memory.Ack
+  else
+    client_span t "rdma.fence" (fun () ->
+        Ivar.await (Memory.fence_async t.memories.(mem) ~from:t.pid))
+
+(* Fence every memory and wait for [k] of them (default: a majority) —
+   the companion of a quorum write: once it returns, the write has been
+   *applied*, not merely acked, at k memories. *)
+let fence_quorum ?k t =
+  if all_strict t then Memory.Ack
+  else begin
+    let k = Option.value k ~default:(majority t) in
+    client_span t "rdma.fence_quorum" (fun () ->
+        let responses = Par.await_k (fence_all_async t) k in
+        if List.for_all (fun (_, r) -> r = Memory.Ack) responses then Memory.Ack
+        else Memory.Nak)
+  end
+
 (* {2 Single-memory batched write (state transfer)} *)
 
 let write_many t ~mem ~region ~values =

@@ -52,6 +52,23 @@ val read_quorum :
 val change_permission_quorum :
   ?k:int -> t -> region:string -> perm:Permission.t -> (int * Memory.op_result) list
 
+(** {2 Fences}
+
+    The explicit flush of the weak ordering models ({!Ordering}): a
+    fence on a memory completes once every op this client issued there
+    before it has been applied.  Under {!Ordering.Strict} all three
+    entry points short-circuit — no span, no suspension, no engine
+    event — so unconditional fences cost nothing in the strict model. *)
+
+val fence : t -> mem:int -> Memory.op_result
+
+val fence_all_async : t -> Memory.op_result Ivar.t array
+
+(** Fence every memory, wait for [k] (default majority): on return the
+    client's prior writes are {e applied} — not merely acked — at [k]
+    memories. *)
+val fence_quorum : ?k:int -> t -> Memory.op_result
+
 (** {2 State transfer} *)
 
 (** Blocking batched write of several registers of one region to a single

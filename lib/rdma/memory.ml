@@ -51,6 +51,14 @@ type region = {
   mutable granted_epoch : int;
 }
 
+(* Per-queue-pair ordering state, one QP per issuing process (Section 7
+   pairs every process with every memory).  [floor] is the earliest
+   instant a later op of this QP may apply — raised by each write under
+   completion-lag (same-QP FIFO) and by fences; [horizon] is the latest
+   apply instant assigned to any op of this QP, which is what a fence
+   waits out. *)
+type qp_state = { mutable floor : float; mutable horizon : float }
+
 type t = {
   mid : int;
   engine : Engine.t;
@@ -67,10 +75,20 @@ type t = {
   (* register -> owning region; enforces "a register belongs to exactly
      one region" (our algorithms' convention, Section 3) *)
   owner : (string, string) Hashtbl.t;
+  (* weak-ordering model state.  Per-op lag/reorder decisions come from
+     [ord_rng], a dedicated stream keyed on (seed, mid) so they replay
+     identically under -j N and never perturb the engine's rng (which
+     Random_latency draws from). *)
+  mutable ordering : Ordering.mode;
+  ord_rng : Random.State.t;
+  qps : (int, qp_state) Hashtbl.t;
+  (* latest apply instant assigned to any write on this memory — the
+     control plane (permission changes) drains up to here *)
+  mutable data_horizon : float;
 }
 
 let create ?(one_way = 1.0) ?(legal_change = Permission.static_permissions)
-    ~engine ~stats ~mid () =
+    ?(ordering = Ordering.Strict) ?(seed = 0) ~engine ~stats ~mid () =
   {
     mid;
     engine;
@@ -84,7 +102,15 @@ let create ?(one_way = 1.0) ?(legal_change = Permission.static_permissions)
     regions = Hashtbl.create 64;
     store = Hashtbl.create 256;
     owner = Hashtbl.create 256;
+    ordering;
+    ord_rng = Random.State.make [| 0x6f7264; seed; mid |];
+    qps = Hashtbl.create 8;
+    data_horizon = 0.0;
   }
+
+let ordering t = t.ordering
+
+let set_ordering t mode = t.ordering <- mode
 
 let id t = t.mid
 
@@ -206,32 +232,127 @@ let restart ?(rejoin = `Genesis) t =
          t.regions)
       [@simlint.allow "D2"]
   | `Quarantine -> ());
+  (* In-flight pre-crash placements are dead (the epoch guard drops
+     them), so the fresh epoch owes them no ordering: QP floors and the
+     control-plane drain horizon reset with the reboot. *)
+  Hashtbl.reset t.qps;
+  t.data_horizon <- 0.0;
   Stats.bump t.stats "mem.restarts";
   emit t (Event.Mem_restart { mid = t.mid; epoch = t.epoch })
 
-(* Issue [apply] as a timed memory operation.  [apply] runs at the memory
-   (one-way later); its result is delivered another one-way later.  Either
-   leg is dropped if the memory is crashed — or has been restarted into a
-   later epoch — at that moment, so operations in flight across a crash
-   can never resurrect after a restart.  The whole round trip is one span
-   on the memory's track; an operation swallowed by a crash leaves its
-   span unfinished, which the exporters flag. *)
-let operation t ~span_name apply =
+let qp_state t ~from =
+  match Hashtbl.find_opt t.qps from with
+  | Some q -> q
+  | None ->
+      let q = { floor = 0.0; horizon = 0.0 } in
+      Hashtbl.add t.qps from q;
+      q
+
+(* Issue [decide] as a timed memory operation.  The op arrives at the
+   memory one one-way after issue; the ordering model then assigns its
+   decision and apply instants, and the response is delivered one
+   one-way after the decision.  [decide] returns the response plus, for
+   writes, the state mutation — split so completion-lag can resolve the
+   permission check at arrival while deferring the bytes.  Every leg is
+   dropped if the memory is crashed — or has been restarted into a later
+   epoch — at that moment, so operations in flight across a crash can
+   never resurrect after a restart (a lagged pre-crash placement in
+   particular never lands in fresh-epoch memory).  The whole round trip
+   is one span on the memory's track; an operation swallowed by a crash
+   leaves its span unfinished, which the exporters flag.
+
+   Timing per mode and op class ([now] = arrival instant):
+
+     strict          decide+apply at [now], response one-way later.
+     completion-lag  writes: decide at [now], apply at
+                     max(now + lag, qp.floor) — same-QP FIFO — with the
+                     response still one-way after [now], so the
+                     completion can outrun the bytes; reads wait for
+                     [qp.floor] (IB read-after-write ordering); control
+                     verbs drain [data_horizon] before applying, as a
+                     memory-registration change completes outstanding
+                     DMA first.
+     reordered-qp    data ops decide+apply at max(now + d, qp.floor);
+                     the response follows one-way after the perturbed
+                     apply, so a completion still implies delivery;
+                     control verbs stay at [now] (a data op reordered
+                     past a revocation naks at its apply instant, and
+                     the issuer learns).
+     fences          apply at max(now, qp.horizon) under either weak
+                     mode (and raise [qp.floor], so later ops cannot
+                     overtake the fence); never issued under strict. *)
+let operation t ~span_name ~from ~cls decide =
   let result = Ivar.create () in
   let issue_epoch = t.epoch in
   let live () = (not t.crashed) && t.epoch = issue_epoch in
   Prof.bump "mem.ops.issued" 1;
   let sp = Obs.span t.obs ~actor:t.actor ~cat:"mem" span_name in
+  let complete r =
+    Engine.schedule t.engine t.one_way (fun () ->
+        if live () then begin
+          (* issued - completed = ops swallowed by a crash/restart *)
+          Prof.bump "mem.ops.completed" 1;
+          Obs.finish t.obs sp;
+          Ivar.fill result r
+        end)
+  in
+  let decide_apply () =
+    let r, mutation = decide () in
+    (match mutation with Some m -> m () | None -> ());
+    r
+  in
+  (* run [f] at absolute instant [at] (>= now), under the live guard *)
+  let at_instant at f =
+    Engine.schedule t.engine (at -. Engine.now t.engine) (fun () ->
+        if live () then f ())
+  in
   Engine.schedule t.engine t.one_way (fun () ->
       if live () then begin
-        let r = apply () in
-        Engine.schedule t.engine t.one_way (fun () ->
-            if live () then begin
-              (* issued - completed = ops swallowed by a crash/restart *)
-              Prof.bump "mem.ops.completed" 1;
-              Obs.finish t.obs sp;
-              Ivar.fill result r
-            end)
+        let now = Engine.now t.engine in
+        match t.ordering with
+        | Ordering.Strict -> complete (decide_apply ())
+        | Ordering.Completion_lag { max_lag } -> (
+            let q = qp_state t ~from in
+            match cls with
+            | `Write ->
+                let r, mutation = decide () in
+                let lag = Random.State.float t.ord_rng max_lag in
+                (match mutation with
+                | Some m ->
+                    let apply_at = Float.max (now +. lag) q.floor in
+                    q.floor <- apply_at;
+                    q.horizon <- Float.max q.horizon apply_at;
+                    t.data_horizon <- Float.max t.data_horizon apply_at;
+                    if apply_at > now then Prof.bump "mem.ops.lagged" 1;
+                    at_instant apply_at m
+                | None -> ());
+                complete r
+            | `Read -> at_instant (Float.max now q.floor) (fun () ->
+                complete (decide_apply ()))
+            | `Control -> at_instant (Float.max now t.data_horizon) (fun () ->
+                complete (decide_apply ()))
+            | `Fence ->
+                Prof.bump "mem.fences" 1;
+                at_instant (Float.max now q.horizon) (fun () ->
+                    complete (decide_apply ())))
+        | Ordering.Reorder_qp { window } -> (
+            match cls with
+            | `Control -> complete (decide_apply ())
+            | `Write | `Read ->
+                let q = qp_state t ~from in
+                let d = Random.State.float t.ord_rng window in
+                let apply_at = Float.max (now +. d) q.floor in
+                if apply_at < q.horizon then Prof.bump "mem.ops.reordered" 1;
+                q.horizon <- Float.max q.horizon apply_at;
+                if cls = `Write then
+                  t.data_horizon <- Float.max t.data_horizon apply_at;
+                at_instant apply_at (fun () -> complete (decide_apply ()))
+            | `Fence ->
+                let q = qp_state t ~from in
+                Prof.bump "mem.fences" 1;
+                let at = Float.max now q.horizon in
+                q.floor <- Float.max q.floor at;
+                at_instant at (fun () -> complete (decide_apply ())))
       end);
   result
 
@@ -245,7 +366,7 @@ let serving r ~epoch = r.granted_epoch = epoch
 
 let write_async t ~from ~region ~reg value =
   Stats.incr_writes t.stats;
-  operation t ~span_name:"mem.write" (fun () ->
+  operation t ~span_name:"mem.write" ~from ~cls:`Write (fun () ->
       let ok =
         match lookup_region t region with
         | None -> false
@@ -254,13 +375,14 @@ let write_async t ~from ~region ~reg value =
             && Hashtbl.mem r.registers reg
             && Permission.can_write r.perm from
       in
-      if ok then Hashtbl.replace t.store reg (t.epoch, Some value);
       emit t (Event.Mem_write { pid = from; mid = t.mid; region; reg; value; ok });
-      if ok then Ack else Nak)
+      if ok then
+        (Ack, Some (fun () -> Hashtbl.replace t.store reg (t.epoch, Some value)))
+      else (Nak, None))
 
 let read_async t ~from ~region ~reg =
   Stats.incr_reads t.stats;
-  operation t ~span_name:"mem.read" (fun () ->
+  operation t ~span_name:"mem.read" ~from ~cls:`Read (fun () ->
       let ok =
         match lookup_region t region with
         | None -> false
@@ -271,7 +393,7 @@ let read_async t ~from ~region ~reg =
             && register_fresh t reg
       in
       emit t (Event.Mem_read { pid = from; mid = t.mid; region; reg; ok });
-      if ok then Read (peek_register t reg) else Read_nak)
+      ((if ok then Read (peek_register t reg) else Read_nak), None))
 
 (* Batched read of several registers of one region in a single operation —
    an RDMA read of a contiguous slot array (Section 7).  Results are in
@@ -282,7 +404,7 @@ type read_many_result = Read_many of string option array | Read_many_nak
 
 let read_many_async t ~from ~region ~regs =
   Stats.incr_reads t.stats;
-  operation t ~span_name:"mem.read_many" (fun () ->
+  operation t ~span_name:"mem.read_many" ~from ~cls:`Read (fun () ->
       let ok =
         match lookup_region t region with
         | None -> false
@@ -297,9 +419,11 @@ let read_many_async t ~from ~region ~regs =
       emit t
         (Event.Mem_read_many
            { pid = from; mid = t.mid; region; count = List.length regs; ok });
-      if ok then
-        Read_many (Array.of_list (List.map (fun reg -> peek_register t reg) regs))
-      else Read_many_nak)
+      ( (if ok then
+           Read_many
+             (Array.of_list (List.map (fun reg -> peek_register t reg) regs))
+         else Read_many_nak),
+        None ))
 
 (* Batched write of several registers of one region in a single operation
    — the write-side sibling of [read_many_async], an RDMA write of a
@@ -309,7 +433,7 @@ let read_many_async t ~from ~region ~regs =
    region in one two-delay operation. *)
 let write_many_async t ~from ~region ~values =
   Stats.incr_writes t.stats;
-  operation t ~span_name:"mem.write_many" (fun () ->
+  operation t ~span_name:"mem.write_many" ~from ~cls:`Write (fun () ->
       let ok =
         match lookup_region t region with
         | None -> false
@@ -318,14 +442,17 @@ let write_many_async t ~from ~region ~values =
             && Permission.can_write r.perm from
             && List.for_all (fun (reg, _) -> Hashtbl.mem r.registers reg) values
       in
-      if ok then
-        List.iter
-          (fun (reg, v) -> Hashtbl.replace t.store reg (t.epoch, v))
-          values;
       emit t
         (Event.Mem_write_many
            { pid = from; mid = t.mid; region; count = List.length values; ok });
-      if ok then Ack else Nak)
+      if ok then
+        ( Ack,
+          Some
+            (fun () ->
+              List.iter
+                (fun (reg, v) -> Hashtbl.replace t.store reg (t.epoch, v))
+                values) )
+      else (Nak, None))
 
 (* changePermission (Section 3): the memory evaluates legalChange on
    arrival; an illegal request silently becomes a no-op (the paper's
@@ -336,7 +463,7 @@ let write_many_async t ~from ~region ~values =
    may grant, and nothing else. *)
 let change_permission_async t ~from ~region ~perm =
   Stats.incr_perm_changes t.stats;
-  operation t ~span_name:"mem.perm" (fun () ->
+  operation t ~span_name:"mem.perm" ~from ~cls:`Control (fun () ->
       let applied =
         match lookup_region t region with
         | None -> false
@@ -353,4 +480,17 @@ let change_permission_async t ~from ~region ~perm =
             else false
       in
       emit t (Event.Mem_perm { pid = from; mid = t.mid; region; applied });
-      if applied then Ack else Nak)
+      ((if applied then Ack else Nak), None))
+
+(* Explicit flush (the RDMA FLUSH / read-after-write fence): the result
+   arrives only once every operation this process issued to this memory
+   before the fence has been applied.  Free under [Strict] — no engine
+   event, no span, no counter — so algorithms may fence unconditionally
+   without perturbing strict-mode benchmarks or perf baselines. *)
+let fence_async t ~from =
+  match t.ordering with
+  | Ordering.Strict -> Ivar.full Ack
+  | Ordering.Completion_lag _ | Ordering.Reorder_qp _ ->
+      operation t ~span_name:"mem.fence" ~from ~cls:`Fence (fun () ->
+          emit t (Event.Mem_fence { pid = from; mid = t.mid });
+          (Ack, None))

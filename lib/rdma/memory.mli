@@ -11,8 +11,11 @@
     lost state as ⊥.
 
     Timing follows the paper's delay metric: an operation issued at time
-    [t] applies at the memory at [t + one_way] and its response arrives at
-    [t + 2 * one_way]. *)
+    [t] applies at the memory at [t + one_way] and its response arrives
+    at [t + 2 * one_way] — under the default {!Ordering.Strict} model.
+    The weaker models ({!Ordering.Completion_lag},
+    {!Ordering.Reorder_qp}) decouple apply from completion per the mode
+    semantics in {!Ordering}; {!fence_async} is the explicit flush. *)
 
 open Rdma_sim
 
@@ -22,9 +25,15 @@ type read_result = Read of string option | Read_nak
 
 type t
 
+(** [ordering] is the memory-ordering model (default {!Ordering.Strict});
+    [seed] keys the per-memory stream the weak modes draw their per-op
+    lag/reorder decisions from — pass the run's seed so chaos schedules
+    replay to identical decisions. *)
 val create :
   ?one_way:float ->
   ?legal_change:Permission.legal_change ->
+  ?ordering:Ordering.mode ->
+  ?seed:int ->
   engine:Engine.t ->
   stats:Stats.t ->
   mid:int ->
@@ -32,6 +41,13 @@ val create :
   t
 
 val id : t -> int
+
+val ordering : t -> Ordering.mode
+
+(** Install an ordering model; meant for schedule install time (t = 0) —
+    the per-op decision stream is shared across modes, so switching
+    mid-run is deterministic but changes subsequent draws. *)
+val set_ordering : t -> Ordering.mode -> unit
 
 (** The engine's telemetry collector (every operation records a typed
     event on this memory's [mu<mid>] track and a [mem.*] span). *)
@@ -126,3 +142,11 @@ val write_many_async :
     policy as [Permission.none]. *)
 val change_permission_async :
   t -> from:int -> region:string -> perm:Permission.t -> op_result Ivar.t
+
+(** Explicit flush (the RDMA FLUSH / read-after-write fence): the
+    returned ivar fills with [Ack] only once every operation [from]
+    issued to this memory {e before} the fence has been applied, and
+    later ops of the QP cannot overtake it.  Under {!Ordering.Strict}
+    this is a free no-op (an already-full ivar, no event, no delay), so
+    algorithms fence unconditionally at no strict-mode cost. *)
+val fence_async : t -> from:int -> op_result Ivar.t

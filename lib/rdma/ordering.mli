@@ -1,0 +1,69 @@
+(** Pluggable RDMA memory-ordering models.
+
+    The paper's delay metric treats a one-sided operation as an atomic
+    request/response: it applies at the memory one one-way delay after
+    issue, and its completion arrives one one-way later.  Real RDMA is
+    weaker on two independent axes, and each gets a mode here:
+
+    - {!Completion_lag} — a local completion does not imply remote
+      delivery ("The Completion Fallacy", arXiv:2603.04774): the
+      issuer's ivar resolves on the usual two-delay schedule, but the
+      written bytes land at the remote memory a seeded virtual-time lag
+      later, so a rival's read can miss a write whose completion the
+      issuer already consumed.
+
+    - {!Reorder_qp} — the NIC may apply in-flight operations of one
+      queue pair out of issue order within a bounded virtual-time
+      window (the relaxed orderings formalised in arXiv:2605.10631).
+      Completions still mean "applied" in this mode; only the
+      cross-operation order is perturbed.
+
+    {!Strict} is the paper's model and the default.  Per-op lag/reorder
+    decisions are drawn from a per-memory [Random.State] keyed on
+    (seed, mid), so a chaos schedule replays to the exact same
+    decisions under [-j N] and in shrunk repros. *)
+
+type mode =
+  | Strict  (** the paper's atomic request/response timing *)
+  | Completion_lag of { max_lag : float }
+      (** completions keep the strict two-delay schedule, but each
+          write's state change lands a per-op lag drawn from
+          [[0, max_lag)] after arrival (same-QP writes still apply in
+          issue order, and same-QP reads wait for them — IB
+          read-after-write ordering) *)
+  | Reorder_qp of { window : float }
+      (** each data op applies at arrival plus a per-op perturbation
+          drawn from [[0, window)]; in-flight ops of one QP whose
+          perturbations invert their arrival order apply out of issue
+          order.  The completion is delivered one one-way after the
+          (perturbed) apply, so a completion still implies delivery *)
+[@@simlint.protocol]
+
+(** Default lag bound: three strict round trips, enough for a rival's
+    read issued after the completion to arrive before the bytes do. *)
+val default_lag : float
+
+(** Default reorder window: two strict round trips. *)
+val default_window : float
+
+(** [Completion_lag] / [Reorder_qp] at the default parameters. *)
+val completion_lag : mode
+
+val reorder_qp : mode
+
+val equal : mode -> mode -> bool
+
+(** The bare mode name: ["strict"], ["completion-lag"],
+    ["reordered-qp"]. *)
+val name : mode -> string
+
+(** Round-trippable rendering: the name, plus [:<param>] when the
+    parameter differs from nothing — e.g. ["completion-lag:6"]. *)
+val to_string : mode -> string
+
+(** Parse {!to_string} output and bare mode names (a missing parameter
+    means the default); ["reordered-within-qp"] is accepted as an alias.
+    [Error] carries a usage message. *)
+val of_string : string -> (mode, string) result
+
+val pp : Format.formatter -> mode -> unit

@@ -120,3 +120,10 @@ let rdma_write qp mr ~rkey ~reg value =
   else
     Memory.write_async qp.qp_pd.nic.memory ~from:qp.remote ~region:mr.mr_name ~reg
       value
+
+(* RDMA FLUSH (the ibverbs flush extension): completes once every prior
+   op of this queue pair has been applied at the remote memory.  A fence
+   is QP-scoped, not MR-scoped, so it needs no rkey and survives
+   deregistration races — flushing after a revocation is how a prudent
+   issuer learns whether its acked writes actually landed. *)
+let rdma_flush qp = Memory.fence_async qp.qp_pd.nic.memory ~from:qp.remote

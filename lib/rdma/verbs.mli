@@ -51,3 +51,8 @@ val rdma_read : qp -> mr -> rkey:string -> reg:string -> Memory.read_result Ivar
 
 val rdma_write :
   qp -> mr -> rkey:string -> reg:string -> string -> Memory.op_result Ivar.t
+
+(** RDMA FLUSH (the ibverbs flush extension): completes once every prior
+    operation of this queue pair has been applied at the remote memory.
+    QP-scoped (no rkey needed).  Free under {!Ordering.Strict}. *)
+val rdma_flush : qp -> Memory.op_result Ivar.t

@@ -70,6 +70,19 @@ let read_detailed t ~reg =
    the repair writes are awaited so a completed call really has restored
    full replication among the live replicas.
 
+   Unlike [read], the sweep does not settle for the first majority: it
+   waits up to [grace] for *every* replica.  Under strict ordering the
+   distinction is invisible (all live replicas respond at the same
+   virtual instant, so the majority snapshot already contains them), but
+   a weak ordering model perturbs response times, and a repair sweep
+   that only looks at the fastest majority can then miss the rejoined
+   replica on every sweep of a bounded serving window — the replica
+   loses each quorum race and is never observed, let alone repaired.
+   The grace default covers the response spread of the stock weak modes
+   (completion-lag lag ≤ 6, reordered-qp window ≤ 4) with margin; a
+   crashed replica costs one grace wait per sweep and is skipped.
+   Fewer than a majority of responses within [grace] returns ⊥.
+
    Repair is deliberately *not* folded into [read]: the paper's
    non-equivocating broadcast (Algorithm 2) depends on divergent replicas
    staying observable — a reader that "repaired" an equivocating writer's
@@ -77,39 +90,46 @@ let read_detailed t ~reg =
    replicas are the expected cause of divergence (crash-model recovery),
    and the writes carry the caller's pid, so repair is only possible
    where the caller holds write permission. *)
-let read_repair t ~reg =
-  let responses = Memclient.read_quorum t.client ~region:t.region ~reg in
-  let values =
-    List.filter_map
-      (fun (_, r) -> match r with Memory.Read v -> v | Memory.Read_nak -> None)
-      responses
+let read_repair ?(grace = 10.0) t ~reg =
+  let ivars = Memclient.read_all_async t.client ~region:t.region ~reg in
+  let responses =
+    Rdma_sim.Par.await_k_timeout ivars (Array.length ivars) grace
   in
-  match List.sort_uniq String.compare values with
-  | [ v ] ->
-      let stale =
-        List.filter
-          (fun (_, r) ->
-            match r with
-            | Memory.Read (Some v') -> v' <> v
-            | Memory.Read None | Memory.Read_nak -> true)
-          responses
-      in
-      let repairs =
-        List.map
-          (fun (i, _) ->
-            Memory.write_async
-              (Memclient.mem t.client i)
-              ~from:(Memclient.pid t.client) ~region:t.region ~reg v)
-          stale
-      in
-      if repairs <> [] then begin
-        ignore (Rdma_sim.Par.await_all (Array.of_list repairs));
-        match Memclient.obs t.client with
-        | Some obs -> Rdma_obs.Obs.count obs "swmr.repairs" (List.length repairs)
-        | None -> ()
-      end;
-      Some v
-  | _ -> None
+  if List.length responses < majority t then None
+  else
+    let values =
+      List.filter_map
+        (fun (_, r) ->
+          match r with Memory.Read v -> v | Memory.Read_nak -> None)
+        responses
+    in
+    match List.sort_uniq String.compare values with
+    | [ v ] ->
+        let stale =
+          List.filter
+            (fun (_, r) ->
+              match r with
+              | Memory.Read (Some v') -> v' <> v
+              | Memory.Read None | Memory.Read_nak -> true)
+            responses
+        in
+        let repairs =
+          List.map
+            (fun (i, _) ->
+              Memory.write_async
+                (Memclient.mem t.client i)
+                ~from:(Memclient.pid t.client) ~region:t.region ~reg v)
+            stale
+        in
+        if repairs <> [] then begin
+          ignore (Rdma_sim.Par.await_all (Array.of_list repairs));
+          match Memclient.obs t.client with
+          | Some obs ->
+              Rdma_obs.Obs.count obs "swmr.repairs" (List.length repairs)
+          | None -> ()
+        end;
+        Some v
+    | _ -> None
 
 (* Change the permission of the region on every memory, majority-waited. *)
 let change_permission t ~perm =

@@ -36,6 +36,11 @@ and fiber = {
   name : string;
   mutable cancelled : bool;
   owner : t;
+  (* cleanup actions to run if the fiber is cancelled — registered by
+     blocking combinators so an abandoned wait can deregister its ivar
+     callbacks instead of leaking waiters (id, action) *)
+  mutable cancel_hooks : (int * (unit -> unit)) list;
+  mutable next_hook : int;
 }
 
 type _ Effect.t +=
@@ -80,7 +85,31 @@ let cancel f =
   if not f.cancelled then begin
     f.cancelled <- true;
     Rdma_obs.Obs.event f.owner.obs ~actor:f.name
-      (Rdma_obs.Event.Fiber_cancel { fid = f.fid; name = f.name })
+      (Rdma_obs.Event.Fiber_cancel { fid = f.fid; name = f.name });
+    (* run the registered cleanups in registration order; each may
+       resume (hence discontinue) the fiber, so hooks guard their own
+       settled state *)
+    let hooks = List.rev f.cancel_hooks in
+    f.cancel_hooks <- [];
+    List.iter (fun (_, hook) -> hook ()) hooks
+  end
+
+(* [on_cancel fiber hook] runs [hook] if the fiber is ever cancelled
+   (immediately when it already is) and returns a deregistration
+   closure — call it once the guarded wait settles, so long-lived
+   fibers don't accumulate dead hooks. *)
+let on_cancel fiber hook =
+  if fiber.cancelled then begin
+    hook ();
+    fun () -> ()
+  end
+  else begin
+    fiber.next_hook <- fiber.next_hook + 1;
+    let id = fiber.next_hook in
+    fiber.cancel_hooks <- (id, hook) :: fiber.cancel_hooks;
+    fun () ->
+      fiber.cancel_hooks <-
+        List.filter (fun (id', _) -> id' <> id) fiber.cancel_hooks
   end
 
 let schedule t delay callback =
@@ -131,7 +160,16 @@ let handler t fiber =
 let spawn t name f =
   t.next_fid <- t.next_fid + 1;
   t.fiber_count <- t.fiber_count + 1;
-  let fiber = { fid = t.next_fid; name; cancelled = false; owner = t } in
+  let fiber =
+    {
+      fid = t.next_fid;
+      name;
+      cancelled = false;
+      owner = t;
+      cancel_hooks = [];
+      next_hook = 0;
+    }
+  in
   schedule t 0. (fun () ->
       if not fiber.cancelled then begin
         (* Recorded at first step, not at [spawn], so traces enabled

@@ -57,6 +57,15 @@ val cancel : fiber -> unit
 
 val cancelled : fiber -> bool
 
+(** [on_cancel fiber hook] registers [hook] to run when the fiber is
+    cancelled (immediately if it already is) and returns a
+    deregistration closure.  Blocking combinators use it to tear down an
+    abandoned wait — deregistering ivar callbacks so late completions
+    (e.g. lagged ones under a weak ordering model) find no waiter.
+    Hooks run in registration order and may resume the fiber (which
+    discontinues it); a hook must guard its own settled state. *)
+val on_cancel : fiber -> (unit -> unit) -> unit -> unit
+
 val fiber_name : fiber -> string
 
 (** Run the event loop until no events remain.  Raises {!Deadlock} if the

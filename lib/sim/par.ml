@@ -26,14 +26,18 @@ let await_k ivars k =
   let filled = Array.fold_left (fun acc iv -> if Ivar.is_full iv then acc + 1 else acc) 0 ivars in
   if filled >= k then snapshot ()
   else begin
-    Engine.suspend (fun _eng _fiber resume ->
+    Engine.suspend (fun _eng fiber resume ->
         let count = ref filled and settled = ref false in
         let cancels = ref [] in
+        let unhook = ref (fun () -> ()) in
         let settle () =
-          settled := true;
-          List.iter (fun cancel -> cancel ()) !cancels;
-          cancels := [];
-          resume ()
+          if not !settled then begin
+            settled := true;
+            List.iter (fun cancel -> cancel ()) !cancels;
+            cancels := [];
+            !unhook ();
+            resume ()
+          end
         in
         Array.iter
           (fun iv ->
@@ -47,6 +51,11 @@ let await_k ivars k =
               in
               cancels := cancel :: !cancels)
           ivars;
+        (* A crashed issuer abandons the wait: tear it down at cancel
+           time so late completions — lagged ones in particular — find
+           no waiter to wake and no callbacks leak on never-filled
+           ivars.  The resume inside [settle] discontinues the fiber. *)
+        unhook := Engine.on_cancel fiber settle;
         if (not !settled) && !count >= k then settle ());
     snapshot ()
   end
@@ -68,14 +77,16 @@ let await_k_timeout ivars k delay =
   let filled = Array.fold_left (fun acc iv -> if Ivar.is_full iv then acc + 1 else acc) 0 ivars in
   if filled >= k then snapshot ()
   else begin
-    Engine.suspend (fun eng _fiber resume ->
+    Engine.suspend (fun eng fiber resume ->
         let count = ref filled and settled = ref false in
         let cancels = ref [] in
+        let unhook = ref (fun () -> ()) in
         let finish () =
           if not !settled then begin
             settled := true;
             List.iter (fun cancel -> cancel ()) !cancels;
             cancels := [];
+            !unhook ();
             resume ()
           end
         in
@@ -91,6 +102,9 @@ let await_k_timeout ivars k delay =
               in
               cancels := cancel :: !cancels)
           ivars;
+        (* Cancel-time teardown, as in [await_k]; the timer below still
+           fires afterwards and finds [settled] set. *)
+        unhook := Engine.on_cancel fiber finish;
         if !count >= k then finish ();
         Engine.schedule eng delay (fun () -> finish ()));
     snapshot ()

@@ -55,7 +55,7 @@ dune exec bin/rdma_agreement.exe -- chaos explore robust-backup \
 # Over-budget exploration must find a violation, shrink it, and write a
 # repro artifact ...
 dune exec bin/rdma_agreement.exe -- chaos explore paxos \
-  --runs 5 --seed 1 --over-budget --expect-violations --out "$tmp/repro.json" \
+  --runs 12 --seed 1 --over-budget --expect-violations --out "$tmp/repro.json" \
   > "$tmp/explore.out"
 
 # ... whose replay still violates (exit 1), deterministically: two
@@ -90,7 +90,7 @@ grep -v "^metrics written" "$tmp/cj4.out" > "$tmp/cj4.flt"
 cmp "$tmp/cj1.flt" "$tmp/cj4.flt"
 
 dune exec bin/rdma_agreement.exe -- chaos explore paxos \
-  --runs 5 --seed 1 --over-budget --expect-violations -j 4 \
+  --runs 12 --seed 1 --over-budget --expect-violations -j 4 \
   --out "$tmp/repro-j4.json" > /dev/null
 cmp "$tmp/repro.json" "$tmp/repro-j4.json"
 
@@ -129,6 +129,51 @@ dune exec tools/perfdiff/perfdiff.exe -- --ignore-timing \
   exit 1
 }
 echo "perf baselines match; injected drift detected"
+
+echo "== weak ordering =="
+# The memory-ordering chaos axis: forced weak-mode explore batches must
+# hold every invariant, stay byte-identical across -j 1 / -j 4 (per-op
+# ordering decisions come from the seeded schedule, never from domain
+# interleaving), and replay byte-identically from a repro artifact that
+# round-trips the ordering mode.
+for mode in completion-lag reordered-qp; do
+  dune exec bin/rdma_agreement.exe -- chaos explore disk-paxos \
+    --runs 25 --seed 1 --adversary --ordering "$mode" -j 1 \
+    --metrics-out "$tmp/om1.json" > "$tmp/oj1.out"
+  dune exec bin/rdma_agreement.exe -- chaos explore disk-paxos \
+    --runs 25 --seed 1 --adversary --ordering "$mode" -j 4 \
+    --metrics-out "$tmp/om4.json" > "$tmp/oj4.out"
+  cmp "$tmp/om1.json" "$tmp/om4.json"
+  grep -v "^metrics written" "$tmp/oj1.out" > "$tmp/oj1.flt"
+  grep -v "^metrics written" "$tmp/oj4.out" > "$tmp/oj4.flt"
+  cmp "$tmp/oj1.flt" "$tmp/oj4.flt"
+  grep -q "mem.ops.issued" "$tmp/om1.json" || {
+    echo "weak-ordering metrics missing mem counters ($mode)" >&2
+    exit 1
+  }
+done
+echo "weak-ordering explore deterministic: -j 4 bytes = -j 1 bytes"
+
+# Over-budget under a forced weak mode: the shrunk repro embeds the
+# Set_ordering fault and replays to the same verdict bytes twice.
+dune exec bin/rdma_agreement.exe -- chaos explore paxos \
+  --runs 12 --seed 1 --over-budget --expect-violations \
+  --ordering completion-lag --out "$tmp/repro-weak.json" > /dev/null
+grep -q "set-ordering" "$tmp/repro-weak.json" || {
+  echo "weak-mode repro artifact lost the ordering fault" >&2
+  exit 1
+}
+weak_status=0
+dune exec bin/rdma_agreement.exe -- chaos replay "$tmp/repro-weak.json" \
+  > "$tmp/replay-weak1.out" || weak_status=$?
+[ "$weak_status" -eq 1 ] || {
+  echo "weak-mode repro replay should exit 1 (got $weak_status)" >&2
+  exit 1
+}
+dune exec bin/rdma_agreement.exe -- chaos replay "$tmp/repro-weak.json" \
+  > "$tmp/replay-weak2.out" || true
+cmp "$tmp/replay-weak1.out" "$tmp/replay-weak2.out"
+echo "weak-mode repro replays deterministically"
 
 echo "== recovery smoke test =="
 # Crash -> recover -> repair schedules: the nemesis pairs every crash

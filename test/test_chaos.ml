@@ -23,6 +23,9 @@ let schedule : Fault.t list =
     Heal { at = 11.0 };
     Recover_memory { mid = 0; at = 6.5 };
     Restart_machine { pid = 0; mid = 2; at = 14.0 };
+    Set_ordering { mode = Rdma_mem.Ordering.Strict };
+    Set_ordering { mode = Rdma_mem.Ordering.Completion_lag { max_lag = 6.0 } };
+    Set_ordering { mode = Rdma_mem.Ordering.Reorder_qp { window = 4.5 } };
   ]
 
 let test_codec_round_trip () =
@@ -47,8 +50,26 @@ let test_codec_rejects_garbage () =
   (match Fault_codec.of_json (Json.String "crash") with
   | Ok _ -> Alcotest.fail "decoded a bare string"
   | Error _ -> ());
-  match Fault_codec.schedule_of_json (Json.List [ Json.Int 3 ]) with
+  (match Fault_codec.schedule_of_json (Json.List [ Json.Int 3 ]) with
   | Ok _ -> Alcotest.fail "decoded a schedule of ints"
+  | Error _ -> ());
+  (* set-ordering requires a known mode and its parameter *)
+  (match
+     Fault_codec.of_json
+       (Json.Obj
+          [ ("kind", Json.String "set-ordering"); ("mode", Json.String "tso") ])
+   with
+  | Ok _ -> Alcotest.fail "decoded an unknown ordering mode"
+  | Error _ -> ());
+  match
+    Fault_codec.of_json
+      (Json.Obj
+         [
+           ("kind", Json.String "set-ordering");
+           ("mode", Json.String "completion-lag");
+         ])
+  with
+  | Ok _ -> Alcotest.fail "decoded completion-lag without max_lag"
   | Error _ -> ()
 
 (* Fault.apply validates every target up front: a typo'd pid/mid is a
@@ -147,8 +168,14 @@ let test_nemesis_respects_budget () =
             b.Nemesis.max_leader_flaps;
         (* +2: a Partition pick emits its Heal companion, and the
            Byzantine leader fix rides along outside the cap; paired
-           recoveries ride along too *)
-        if List.length faults > b.Nemesis.max_faults + 2 + b.Nemesis.max_recoveries
+           recoveries and the prepended ordering-mode fault ride along
+           too *)
+        let orderings =
+          count (function Fault.Set_ordering _ -> true | _ -> false) faults
+        in
+        if
+          List.length faults - orderings
+          > b.Nemesis.max_faults + 2 + b.Nemesis.max_recoveries
         then
           Alcotest.failf "%s seed %d: schedule too long" s.name seed;
         List.iter
@@ -178,10 +205,98 @@ let test_nemesis_respects_budget () =
                 then Alcotest.failf "%s seed %d: GST outside budget" s.name seed
             | Random_latency _ ->
                 if not b.Nemesis.allow_latency then
-                  Alcotest.failf "%s seed %d: latency not allowed" s.name seed)
+                  Alcotest.failf "%s seed %d: latency not allowed" s.name seed
+            | Set_ordering { mode } ->
+                if
+                  not
+                    (List.exists
+                       (Rdma_mem.Ordering.equal mode)
+                       b.Nemesis.orderings)
+                then
+                  Alcotest.failf "%s seed %d: ordering mode outside budget"
+                    s.name seed)
           faults
       done)
     Scenario.all
+
+(* Forcing an ordering mode consumes no generator draws: the forced
+   weak-mode case is the forced-strict case of the same seed with one
+   Set_ordering fault prepended, so weak-mode grids are directly
+   comparable to their strict baselines, schedule for schedule.  (The
+   unforced generator draws from the budget's [orderings] pool, so it is
+   NOT the baseline — forcing [Strict] is.) *)
+let test_forced_ordering_preserves_schedule () =
+  let s = get_scenario "disk-paxos" in
+  let mode = Rdma_mem.Ordering.Completion_lag { max_lag = 6.0 } in
+  for seed = 1 to 30 do
+    let strict =
+      Scenario.generate s ~adversary:true ~ordering:Rdma_mem.Ordering.Strict
+        ~seed ()
+    in
+    let weak = Scenario.generate s ~adversary:true ~ordering:mode ~seed () in
+    (match weak.Nemesis.faults with
+    | Fault.Set_ordering { mode = m } :: rest ->
+        if not (Rdma_mem.Ordering.equal m mode) then
+          Alcotest.failf "seed %d: wrong mode installed" seed;
+        Alcotest.(check (list fault))
+          (Printf.sprintf "seed %d: schedule unchanged" seed)
+          strict.Nemesis.faults rest
+    | _ -> Alcotest.failf "seed %d: no Set_ordering prepended" seed);
+    if weak.Nemesis.triggers <> strict.Nemesis.triggers then
+      Alcotest.failf "seed %d: triggers diverged" seed;
+    (* forcing strict never injects a Set_ordering fault *)
+    if
+      List.exists
+        (function Fault.Set_ordering _ -> true | _ -> false)
+        strict.Nemesis.faults
+    then Alcotest.failf "seed %d: forced strict installed an ordering" seed
+  done
+
+(* With the pool enabled in the scenario budgets, the blind nemesis
+   actually draws weak modes: across seeds all three outcomes (strict,
+   completion-lag, reordered-qp) appear. *)
+let test_nemesis_draws_weak_modes () =
+  let s = get_scenario "paxos" in
+  let lag = ref 0 and reorder = ref 0 and strict = ref 0 in
+  for seed = 1 to 60 do
+    let case = Scenario.generate s ~seed () in
+    match
+      List.find_map
+        (function Fault.Set_ordering { mode } -> Some mode | _ -> None)
+        case.Nemesis.faults
+    with
+    | Some (Rdma_mem.Ordering.Completion_lag _) -> incr lag
+    | Some (Rdma_mem.Ordering.Reorder_qp _) -> incr reorder
+    | Some Rdma_mem.Ordering.Strict ->
+        Alcotest.failf "seed %d: explicit strict fault generated" seed
+    | None -> incr strict
+  done;
+  if !lag = 0 || !reorder = 0 || !strict = 0 then
+    Alcotest.failf "pool not exercised: strict=%d lag=%d reorder=%d" !strict
+      !lag !reorder
+
+(* The -j N determinism contract holds under a forced weak mode too:
+   per-op lag draws come from per-memory streams keyed on the case seed,
+   never from domain-local state. *)
+let test_weak_explore_parallel_deterministic () =
+  let s = get_scenario "disk-paxos" in
+  let batch jobs =
+    let options =
+      {
+        Explore.default_options with
+        runs = 8;
+        seed = 1;
+        jobs;
+        ordering = Some (Rdma_mem.Ordering.Completion_lag { max_lag = 6.0 });
+      }
+    in
+    Explore.explore ~options s
+  in
+  let a = batch 1 and b = batch 4 in
+  Alcotest.(check int) "all ran" 8 (Explore.total a);
+  Alcotest.(check string) "metrics bytes -j1 = -j4"
+    (Export.metrics a.Explore.metrics)
+    (Export.metrics b.Explore.metrics)
 
 let batch_digest (b : Explore.batch) =
   let failure (f : Explore.failure) =
@@ -245,7 +360,7 @@ let test_explore_metrics_merged () =
 let test_shrinker_minimizes () =
   let s = get_scenario "paxos" in
   let options =
-    { Explore.default_options with runs = 5; seed = 1; over_budget = true }
+    { Explore.default_options with runs = 12; seed = 1; over_budget = true }
   in
   let batch = Explore.explore ~options s in
   match batch.failures with
@@ -385,6 +500,12 @@ let suite =
       test_nemesis_deterministic;
     Alcotest.test_case "nemesis respects fault budgets" `Quick
       test_nemesis_respects_budget;
+    Alcotest.test_case "forced ordering leaves the schedule unchanged" `Quick
+      test_forced_ordering_preserves_schedule;
+    Alcotest.test_case "nemesis draws weak modes from the pool" `Quick
+      test_nemesis_draws_weak_modes;
+    Alcotest.test_case "weak-mode exploration byte-identical at -j4" `Quick
+      test_weak_explore_parallel_deterministic;
     Alcotest.test_case "exploration is deterministic" `Quick
       test_explore_deterministic;
     Alcotest.test_case "parallel exploration byte-identical" `Quick

@@ -203,6 +203,62 @@ let test_par_await_k_timeout () =
   Alcotest.(check (list (pair int string)))
     "timeout returns partial results" [ (1, "ready") ] !got
 
+(* A crashed issuer must tear down its quorum wait at cancel time: the
+   callbacks Par.await_k registered on still-unfilled ivars are
+   deregistered, so a completion that arrives after the crash — a lagged
+   one under a weak ordering model in particular — finds no waiter and
+   nothing leaks on ivars that may never fill. *)
+let test_par_await_k_cancel_unhooks () =
+  let eng = Engine.create () in
+  let ivars = Array.init 3 (fun _ -> Ivar.create ()) in
+  let resumed = ref false in
+  let waiter =
+    Engine.spawn eng "waiter" (fun () ->
+        ignore (Par.await_k ivars 2);
+        resumed := true)
+  in
+  Engine.schedule eng 1.0 (fun () -> Ivar.fill ivars.(0) "a");
+  Engine.schedule eng 2.0 (fun () -> Engine.cancel waiter);
+  Engine.schedule eng 3.0 (fun () ->
+      Array.iter
+        (fun iv ->
+          Alcotest.(check int) "no waiter survives the crash" 0
+            (Ivar.waiter_count iv))
+        ivars;
+      (* late (lagged) completions find no waiter and stay inert *)
+      Ivar.fill ivars.(1) "b";
+      Ivar.fill ivars.(2) "c");
+  Engine.run eng;
+  Alcotest.(check bool) "cancelled waiter never resumed" false !resumed;
+  match Engine.errors eng with
+  | [] -> ()
+  | (n, e) :: _ -> Alcotest.failf "fiber %s raised %s" n (Printexc.to_string e)
+
+let test_par_await_k_timeout_cancel_unhooks () =
+  let eng = Engine.create () in
+  let ivars = Array.init 2 (fun _ -> Ivar.create ()) in
+  let resumed = ref false in
+  let waiter =
+    Engine.spawn eng "waiter" (fun () ->
+        ignore (Par.await_k_timeout ivars 2 50.0);
+        resumed := true)
+  in
+  Engine.schedule eng 1.0 (fun () -> Engine.cancel waiter);
+  Engine.schedule eng 2.0 (fun () ->
+      Array.iter
+        (fun iv ->
+          Alcotest.(check int) "timed wait unhooked on crash" 0
+            (Ivar.waiter_count iv))
+        ivars;
+      Ivar.fill ivars.(0) 1;
+      Ivar.fill ivars.(1) 2);
+  Engine.run eng;
+  (* the 50.0 timer still fires, finds the wait settled, and is a no-op *)
+  Alcotest.(check bool) "cancelled waiter never resumed" false !resumed;
+  match Engine.errors eng with
+  | [] -> ()
+  | (n, e) :: _ -> Alcotest.failf "fiber %s raised %s" n (Printexc.to_string e)
+
 let suite =
   [
     Alcotest.test_case "events fire at virtual times" `Quick test_virtual_time;
@@ -223,4 +279,8 @@ let suite =
     Alcotest.test_case "Par.await_k waits for k-th completion" `Quick test_par_await_k;
     Alcotest.test_case "Par.await_k_timeout returns partial" `Quick
       test_par_await_k_timeout;
+    Alcotest.test_case "crashed issuer unhooks await_k waiters" `Quick
+      test_par_await_k_cancel_unhooks;
+    Alcotest.test_case "crashed issuer unhooks timed quorum waiters" `Quick
+      test_par_await_k_timeout_cancel_unhooks;
   ]
