@@ -103,6 +103,11 @@ let phase1_mem_chain (ctx : _ Cluster.ctx) cfg ~mem ~prop_nr ~grab box =
       | Memory.Read_many values ->
           let slots = Array.map (fun v -> Option.bind v decode_slot) values in
           Mailbox.send box (Mem_info { prop_nr; slots }))
+[@@simlint.allow
+  "F1 Nak-vs-Ack detects permission loss, not remote visibility; in \
+   Permissions mode a rival must switch permissions -- draining this \
+   write -- before acting, and the awaited same-QP read-back that \
+   follows orders behind it anyway (EXPERIMENTS.md W2)"]
 
 (* Phase-2 chain: write the accepted value; in Disk mode, read back to
    check for rivals (the two extra delays permissions save). *)
@@ -137,6 +142,9 @@ let phase2_mem_chain (ctx : _ Cluster.ctx) cfg ~mem ~prop_nr ~value box =
               in
               Mailbox.send box
                 (if rival then Mem_fail { prop_nr } else Mem_ack { prop_nr })))
+[@@simlint.allow
+  "F1 same structure as phase 1: permission drain in Permissions mode, \
+   awaited same-QP read-back self-fence in Disk mode (EXPERIMENTS.md W2)"]
 
 type handle = { decision : Report.decision Ivar.t }
 

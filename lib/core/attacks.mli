@@ -13,46 +13,52 @@ open Rdma_mm
 (** Broadcast a signed (1, m1), then overwrite the slot with a signed
     (1, m2): readers expose the conflict during cross-checking. *)
 val neb_overwrite_equivocation : m1:string -> m2:string -> 'm Cluster.ctx -> unit
+[@@sim.yields]
 
 (** Plant different signed values on different memory replicas of the
     same slot. *)
 val neb_replica_equivocation : m1:string -> m2:string -> 'm Cluster.ctx -> unit
+[@@sim.yields]
 
 (** {2 Attacks on Cheap Quorum} *)
 
 (** A Byzantine leader writing different signed values to different
     replicas of the leader region. *)
 val cq_equivocating_leader : v1:string -> v2:string -> 'm Cluster.ctx -> unit
+[@@sim.yields]
 
 (** A leader that proposes nothing: followers time out and panic. *)
 val cq_silent_leader : 'm Cluster.ctx -> unit
 
 (** A leader whose proposal carries a forged signature. *)
-val cq_forging_leader : value:string -> 'm Cluster.ctx -> unit
+val cq_forging_leader : value:string -> 'm Cluster.ctx -> unit [@@sim.yields]
 
 (** A follower that revokes the leader's write permission immediately. *)
-val cq_early_revoker : 'm Cluster.ctx -> unit
+val cq_early_revoker : 'm Cluster.ctx -> unit [@@sim.yields]
 
 (** A follower that tries to take write access to the leader region for
     itself (legalChange must refuse), then runs [then_]. *)
 val cq_permission_thief :
   then_:('m Cluster.ctx -> unit) -> 'm Cluster.ctx -> unit
+[@@sim.yields]
 
 (** {2 Attacks on Preferential Paxos / Robust Backup} *)
 
 (** Claim top (T) priority with fabricated evidence. *)
-val pp_priority_liar : value:string -> 'm Cluster.ctx -> unit
+val pp_priority_liar : value:string -> 'm Cluster.ctx -> unit [@@sim.yields]
 
 (** Send a Promise citing an acceptance the history cannot justify. *)
 val rb_fabricated_promise : ballot:int -> value:string -> 'm Cluster.ctx -> unit
+[@@sim.yields]
 
 (** Broadcast a Decide with no quorum behind it. *)
-val rb_spurious_decide : value:string -> 'm Cluster.ctx -> unit
+val rb_spurious_decide : value:string -> 'm Cluster.ctx -> unit [@@sim.yields]
 
 (** Broadcast an Accept without preparing or gathering a promise
     quorum. *)
 val rb_unjustified_accept : ballot:int -> value:string -> 'm Cluster.ctx -> unit
+[@@sim.yields]
 
 (** Answer the first Prepare with two different promises for the same
     ballot. *)
-val rb_double_promise : 'm Cluster.ctx -> unit
+val rb_double_promise : 'm Cluster.ctx -> unit [@@sim.yields]

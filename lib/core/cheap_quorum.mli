@@ -67,3 +67,4 @@ val default_config : config
     the process's program fiber). *)
 val participate :
   string Cluster.ctx -> ?cfg:config -> input:string -> unit -> outcome
+[@@sim.yields]

@@ -89,6 +89,11 @@ let disk_round_chain (ctx : _ Cluster.ctx) ~mem ~block result =
               info.(q) <- Option.bind values.(idx) decode_block)
             others;
           Ivar.fill result (Disk_ok info))
+[@@simlint.allow
+  "F1 disk paxos self-fences: the Ack branch immediately issues an \
+   awaited same-QP batched read-back, which orders behind this write \
+   under every model, so by the time the round returns the write is \
+   remotely visible (EXPERIMENTS.md W2)"]
 
 type handle = { decision : Report.decision Ivar.t }
 

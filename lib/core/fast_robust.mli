@@ -38,6 +38,7 @@ val legal_change : n:int -> Rdma_mem.Permission.legal_change
     through the Cheap Quorum phase); the ivar fills on decision. *)
 val attach :
   string Cluster.ctx -> ?cfg:config -> input:string -> unit -> Report.decision Ivar.t
+[@@sim.yields]
 
 val spawn :
   string Cluster.t -> ?cfg:config -> pid:int -> input:string -> unit -> handle

@@ -51,10 +51,10 @@ val stop : t -> unit
 
 (** broadcast(k, m) with auto-incremented k.  Blocking: one replicated
     write (2 delays).  Raises [Invalid_argument] past [max_seq]. *)
-val broadcast : t -> string -> unit
+val broadcast : t -> string -> unit [@@sim.yields]
 
 (** One delivery attempt for the next message of [src]; true if
     delivered.  Exposed for tests; normal use runs {!spawn_poller}. *)
-val try_deliver : t -> int -> bool
+val try_deliver : t -> int -> bool [@@sim.yields]
 
 val spawn_poller : 'm Cluster.ctx -> t -> unit

@@ -90,6 +90,11 @@ let phase1_chain (ctx : _ Cluster.ctx) ~mem ~prop_nr result =
               ok := false
       done;
       Ivar.fill result (if !ok then P1_ok info else P1_write_failed)
+[@@simlint.allow
+  "F1 rides the control-plane drain: phase 1 grabs exclusive write \
+   permission just above, and a rival must itself switch permissions \
+   -- which drains this write -- before it can act on the region; the \
+   Ack branch only gates the leader's own reads (EXPERIMENTS.md W2)"]
 
 type handle = { decision : Report.decision Ivar.t }
 

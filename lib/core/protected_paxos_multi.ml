@@ -217,6 +217,11 @@ let spawn_repair (ctx : _ Cluster.ctx) cfg reign handle mid =
               (Event.Custom
                  { name = "pmpm.repair"; detail = Printf.sprintf "mu%d" mid })
         | Memory.Nak -> ())
+[@@simlint.allow
+  "F1 repair bookkeeping: the Ack branch only counts the repair in \
+   telemetry; the rewritten registers are validated by the next \
+   takeover's reads, which run under a fresh permission grab that \
+   drains this write (EXPERIMENTS.md W2)"]
 
 (* Take over: grab the permission on every memory and read the whole
    region from a quorum.  On success, installs the reign (adopted values

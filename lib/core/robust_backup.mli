@@ -72,6 +72,7 @@ val make_channel :
 (** Trusted channel + the three Paxos roles, from inside the process's
     program fiber. *)
 val attach : 'm Cluster.ctx -> ?cfg:config -> input:string -> unit -> handle
+[@@sim.yields]
 
 val setup_regions : 'm Cluster.t -> ?cfg:config -> unit -> unit
 

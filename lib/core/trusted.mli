@@ -52,4 +52,4 @@ val is_convicted : t -> int -> bool
 
 (** T-send(m): non-equivocating broadcast of (m, bare signature, full
     history). *)
-val t_send : t -> string -> unit
+val t_send : t -> string -> unit [@@sim.yields]

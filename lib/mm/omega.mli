@@ -19,13 +19,13 @@ val set_leader_after : t -> float -> int -> unit
 
 (** Block the calling fiber until this process is leader
     (Algorithm 7 line 9). *)
-val wait_until_leader : t -> me:int -> unit
+val wait_until_leader : t -> me:int -> unit [@@sim.yields]
 
 (** Block until the leader differs from [prev]. *)
-val wait_for_change : t -> prev:int -> unit
+val wait_for_change : t -> prev:int -> unit [@@sim.yields]
 
 (** Block while [unwanted leader] holds. *)
-val wait_while : t -> unwanted:(int -> bool) -> unit
+val wait_while : t -> unwanted:(int -> bool) -> unit [@@sim.yields]
 
 (** One-shot callback at the first leadership change to a pid satisfying
     [want] (not retroactive). *)

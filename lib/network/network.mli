@@ -48,9 +48,9 @@ val broadcast : 'm endpoint -> 'm -> unit
 val broadcast_others : 'm endpoint -> 'm -> unit
 
 (** Block until a message arrives; returns [(sender, payload)]. *)
-val recv : 'm endpoint -> int * 'm
+val recv : 'm endpoint -> int * 'm [@@sim.yields]
 
-val recv_timeout : 'm endpoint -> float -> (int * 'm) option
+val recv_timeout : 'm endpoint -> float -> (int * 'm) option [@@sim.yields]
 
 (** Queued undelivered messages for this endpoint. *)
 val pending : 'm endpoint -> int

@@ -23,11 +23,14 @@ val majority : t -> int
 (** {2 Single-memory blocking operations} *)
 
 val write : t -> mem:int -> region:string -> reg:string -> string -> Memory.op_result
+[@@sim.yields]
 
 val read : t -> mem:int -> region:string -> reg:string -> Memory.read_result
+[@@sim.yields]
 
 val change_permission :
   t -> mem:int -> region:string -> perm:Permission.t -> Memory.op_result
+[@@sim.yields]
 
 (** {2 Parallel all-memories operations} *)
 
@@ -43,14 +46,17 @@ val change_permission_all_async :
     [Ack] iff all received responses were acks. *)
 val write_quorum :
   ?k:int -> t -> region:string -> reg:string -> string -> Memory.op_result
+[@@sim.yields]
 
 (** Read from every memory, wait for [k] responses (default majority);
     returns [(memory index, result)] pairs. *)
 val read_quorum :
   ?k:int -> t -> region:string -> reg:string -> (int * Memory.read_result) list
+[@@sim.yields]
 
 val change_permission_quorum :
   ?k:int -> t -> region:string -> perm:Permission.t -> (int * Memory.op_result) list
+[@@sim.yields]
 
 (** {2 Fences}
 
@@ -60,14 +66,14 @@ val change_permission_quorum :
     entry points short-circuit — no span, no suspension, no engine
     event — so unconditional fences cost nothing in the strict model. *)
 
-val fence : t -> mem:int -> Memory.op_result
+val fence : t -> mem:int -> Memory.op_result [@@sim.yields]
 
 val fence_all_async : t -> Memory.op_result Ivar.t array
 
 (** Fence every memory, wait for [k] (default majority): on return the
     client's prior writes are {e applied} — not merely acked — at [k]
     memories. *)
-val fence_quorum : ?k:int -> t -> Memory.op_result
+val fence_quorum : ?k:int -> t -> Memory.op_result [@@sim.yields]
 
 (** {2 State transfer} *)
 
@@ -79,6 +85,7 @@ val write_many :
   region:string ->
   values:(string * string option) list ->
   Memory.op_result
+[@@sim.yields]
 
 (** {2 Bounded-time quorum operations}
 
@@ -103,6 +110,7 @@ val write_quorum_timed :
   reg:string ->
   string ->
   Memory.op_result timed
+[@@sim.yields]
 
 val read_quorum_timed :
   ?k:int ->
@@ -112,6 +120,7 @@ val read_quorum_timed :
   region:string ->
   reg:string ->
   (int * Memory.read_result) list timed
+[@@sim.yields]
 
 val change_permission_quorum_timed :
   ?k:int ->
@@ -121,3 +130,4 @@ val change_permission_quorum_timed :
   region:string ->
   perm:Permission.t ->
   (int * Memory.op_result) list timed
+[@@sim.yields]

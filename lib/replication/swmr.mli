@@ -14,12 +14,12 @@ val majority : handle -> int
 
 (** [Ack] iff all responding memories (a majority) acked; [Nak] means some
     memory refused — write permission was revoked there. *)
-val write : handle -> reg:string -> string -> Memory.op_result
+val write : handle -> reg:string -> string -> Memory.op_result [@@sim.yields]
 
-val read : handle -> reg:string -> string option
+val read : handle -> reg:string -> string option [@@sim.yields]
 
 (** Like {!read} but also reports whether any replica nak'd the read. *)
-val read_detailed : handle -> reg:string -> string option * bool
+val read_detailed : handle -> reg:string -> string option * bool [@@sim.yields]
 
 (** Quorum read with write-back repair: when the responding majority
     agrees on one value v, every responding replica that returned ⊥, a
@@ -36,6 +36,7 @@ val read_detailed : handle -> reg:string -> string option * bool
     the region; repairs are counted on the ["swmr.repairs"] telemetry
     counter. *)
 val read_repair : ?grace:float -> handle -> reg:string -> string option
+[@@sim.yields]
 
 (** Change the region's permission on every memory (majority-waited). *)
-val change_permission : handle -> perm:Permission.t -> unit
+val change_permission : handle -> perm:Permission.t -> unit [@@sim.yields]

@@ -77,14 +77,25 @@ val run : t -> unit
     These may only be called from inside a fiber spawned by {!spawn}. *)
 
 (** [suspend f] blocks the current fiber; [f engine self resume] must
-    arrange for [resume] to be called (at most once) with the result. *)
-val suspend : (t -> fiber -> ('a -> unit) -> unit) -> 'a
+    arrange for [resume] to be called (at most once) with the result.
+
+    [@@sim.yields] below is the interface-level atomicity contract
+    simlint's rule Y2 checks: a [val] carries it iff a fiber suspension
+    is reachable from its implementation, so callers can see where
+    shared state may change underneath them.  These three are the yield
+    roots the whole-tree may-yield analysis is anchored at. *)
+val suspend : (t -> fiber -> ('a -> unit) -> unit) -> 'a [@@sim.yields]
 
 (** Block for [delay] units of virtual time. *)
-val sleep : float -> unit
+val sleep : float -> unit [@@sim.yields]
 
 (** Re-enqueue the current fiber at the current time. *)
-val yield : unit -> unit
+val yield : unit -> unit [@@sim.yields]
 
-(** The currently running fiber. *)
+(** The currently running fiber.  Implemented on {!suspend}, but the
+    handler resumes synchronously — the scheduler never runs another
+    fiber in between, so this is not an atomicity boundary. *)
 val self : unit -> fiber
+[@@simlint.allow
+  "Y2 self resumes inside its own Suspend handler without re-entering \
+   the scheduler; no other fiber can run during the call"]

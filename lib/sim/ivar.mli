@@ -36,8 +36,8 @@ val on_fill : 'a t -> ('a -> unit) -> unit
 val on_fill_cancellable : 'a t -> ('a -> unit) -> unit -> unit
 
 (** Block the current fiber until the ivar is filled. *)
-val await : 'a t -> 'a
+val await : 'a t -> 'a [@@sim.yields]
 
 (** [await_timeout t d] blocks for at most [d] virtual time units; [None]
     on timeout.  The internal waiter is deregistered on timeout. *)
-val await_timeout : 'a t -> float -> 'a option
+val await_timeout : 'a t -> float -> 'a option [@@sim.yields]

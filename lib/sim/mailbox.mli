@@ -13,11 +13,11 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 
 (** Block until a message is available. *)
-val recv : 'a t -> 'a
+val recv : 'a t -> 'a [@@sim.yields]
 
 (** Block for at most [delay] virtual time units; [None] on timeout.  A
     message arriving after the timeout is kept for the next receiver. *)
-val recv_timeout : 'a t -> float -> 'a option
+val recv_timeout : 'a t -> float -> 'a option [@@sim.yields]
 
 (** Remove and return all queued messages without blocking. *)
 val drain : 'a t -> 'a list

@@ -4,10 +4,11 @@
 (** [await_k ivars k] blocks until at least [k] ivars are filled; returns
     the filled [(index, value)] pairs observed at that instant, in index
     order.  Raises [Invalid_argument] if [k > Array.length ivars]. *)
-val await_k : 'a Ivar.t array -> int -> (int * 'a) list
+val await_k : 'a Ivar.t array -> int -> (int * 'a) list [@@sim.yields]
 
-val await_all : 'a Ivar.t array -> (int * 'a) list
+val await_all : 'a Ivar.t array -> (int * 'a) list [@@sim.yields]
 
 (** Like {!await_k} but returns whatever has completed after [delay] time
     units if [k] completions have not happened by then. *)
 val await_k_timeout : 'a Ivar.t array -> int -> float -> (int * 'a) list
+[@@sim.yields]

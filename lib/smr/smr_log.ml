@@ -274,6 +274,11 @@ let spawn_repair (ctx : _ Cluster.ctx) r ~term ~up_to ~entries ~tail mid =
               (Event.Custom
                  { name = "smr.repair"; detail = Printf.sprintf "mu%d" mid })
         | Memory.Nak -> ())
+[@@simlint.allow
+  "F1 repair bookkeeping: the Ack branch only counts the repair in \
+   telemetry; the transferred state is validated by the next leader \
+   recovery's reads, which run under a fresh permission grab that \
+   drains this write (EXPERIMENTS.md W2)"]
 
 (* Leader recovery: take permissions, read a majority of replicas, adopt
    the highest checkpoint plus max-term values per later slot, rewrite

@@ -81,9 +81,11 @@ val stop : replica -> unit
     index, or [None] if [timeout] elapsed. *)
 val submit :
   string Cluster.ctx -> cfg:config -> seq:int -> cmd:string -> timeout:float -> int option
+[@@sim.yields]
 
 (** Linearizable read: the leader confirms its reign with one
     permission-protected lease write, then reports how many entries are
     applied.  Returns that index, or [None] on timeout. *)
 val linearizable_read :
   string Cluster.ctx -> cfg:config -> seq:int -> timeout:float -> int option
+[@@sim.yields]

@@ -13,15 +13,21 @@ dune build
 echo "== tests =="
 dune runtest
 
-echo "== simlint =="
-# Determinism & protocol-hygiene static analysis over the simulator and
-# CLI.  Zero findings is the contract: a nondeterminism primitive, an
-# unsorted hash-table traversal, a fragile wildcard in a protocol
-# handler, physical equality, or Obj.magic/Marshal fails CI here.
-# Suppressions ([@simlint.allow] / simlint.allow file) are reviewed in
-# the diff like any other code.
-dune build tools/simlint/simlint.exe
-dune exec tools/simlint/simlint.exe -- lib/ bin/ bench/
+echo "== simlint v2 =="
+# Static analysis over the simulator, CLI and bench trees, via the
+# [@lint] alias (so it rebuilds exactly when the scanned sources
+# change).  Zero unsuppressed findings is the contract: the determinism
+# rules (ambient nondeterminism, hash-order traversals, fragile
+# protocol wildcards, physical equality, Obj.magic/Marshal,
+# module-level mutable state) plus the interprocedural rules —
+# Y1 read->yield->dependent-write atomicity, Y2 [@@sim.yields]
+# contract drift in .mlis, F1 branching on one-sided write completion
+# without a fence, A1 stale suppressions.  Every suppression
+# ([@simlint.allow] / simlint.allow) carries a written justification
+# and is reviewed in the diff like any other code; --json below is the
+# machine-readable audit of all of them.
+dune build @lint
+dune exec tools/simlint/simlint.exe -- --json lib/ bin/ bench/ > /dev/null
 
 echo "== telemetry smoke test =="
 tmp="$(mktemp -d)"

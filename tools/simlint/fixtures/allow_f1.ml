@@ -1,0 +1,6 @@
+(* Suppressed F1: the branch reports the completion status itself and
+   makes no remote-visibility claim. *)
+let demo client region =
+  let w = Memclient.write client ~region 0 "v" in
+  (if w = `Ack then print_endline "ack" else print_endline "nak")
+  [@simlint.allow "F1 prints the completion status itself; no visibility claim"]

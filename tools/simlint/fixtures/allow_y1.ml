@@ -1,0 +1,10 @@
+(* Suppressed Y1: same shape as bad_y1.bad_field, justified. *)
+type t = { mutable epoch : int }
+
+let pause () = Engine.sleep 1.0
+
+let bump (t : t) =
+  let e = t.epoch in
+  pause ();
+  (t.epoch <- t.epoch + e)
+  [@simlint.allow "Y1 single-writer: only the owner fiber bumps epoch"]

@@ -1,0 +1,5 @@
+(* Suppressed Y2: the known reference-marks-encloser imprecision. *)
+val lookup : string -> unit -> unit
+[@@simlint.allow
+  "Y2 returns the action without running it; referencing the table \
+   over-approximates may-yield"]

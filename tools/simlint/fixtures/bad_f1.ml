@@ -1,0 +1,20 @@
+(* F1: branching on a one-sided write completion as if it implied
+   remote visibility, with no fence in between.  All three fire. *)
+
+(* direct scrutinee *)
+let bad_direct client region =
+  match Memclient.write client ~region 0 "v" with
+  | `Ack -> true
+  | _ -> false
+
+(* completion bound to a variable first *)
+let bad_bound client region =
+  let w = Memclient.write_quorum client ~region 1 "v" in
+  if w = `Ack then print_endline "committed"
+
+(* through an in-tree wrapper declared a write issuer *)
+let log_write client region v = Memclient.write client ~region 0 v
+[@@simlint.write_issuer]
+
+let bad_wrapped client region =
+  match log_write client region "v" with `Ack -> () | _ -> ()

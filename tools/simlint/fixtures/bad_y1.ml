@@ -1,0 +1,23 @@
+(* Y1: reads of shared mutable state crossing a yield into a dependent
+   write.  [pause] reaches Engine.sleep only transitively, so the
+   may-yield fixpoint — not just the seed table — must mark it. *)
+type t = { mutable pending : int list }
+
+let pause () = Engine.sleep 1.0
+
+(* read t.pending -> yield (on one branch) -> dependent write: fires. *)
+let bad_field (t : t) =
+  if t.pending = [] then pause ();
+  t.pending <- 1 :: t.pending
+
+(* the same shape through a ref handed in by the caller. *)
+let bad_ref (backlog : int ref) =
+  let snapshot = !backlog in
+  pause ();
+  backlog := !backlog + snapshot
+
+(* and through a shared array slot. *)
+let bad_slot (slots : int array) =
+  let seen = slots.(0) in
+  pause ();
+  slots.(0) <- slots.(0) + seen

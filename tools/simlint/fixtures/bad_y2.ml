@@ -1,0 +1,8 @@
+(* Implementation side of the Y2 drift fixture. *)
+let wait_turn () = Engine.yield ()
+
+let observe () =
+  wait_turn ();
+  1
+
+let pure x = x + 1

@@ -1,0 +1,7 @@
+(* Y2 drift in both directions: [observe] suspends but the contract is
+   missing; [pure] claims a suspension that is unreachable. *)
+val wait_turn : unit -> unit [@@sim.yields]
+
+val observe : unit -> int
+
+val pure : int -> int [@@sim.yields]

@@ -1,0 +1,16 @@
+(* Clean twins of bad_f1.ml: a fence or permission switch between the
+   issue and the branch sanctions the completion check; never branching
+   on the completion at all is also fine. *)
+
+let clean_fenced client region =
+  let w = Memclient.write client ~region 0 "v" in
+  Memclient.fence client;
+  match w with `Ack -> true | _ -> false
+
+(* a permission change drains the data plane (DESIGN.md §12) *)
+let clean_permission client region acks =
+  let w = Memclient.write client ~region 0 "v" in
+  ignore (Memclient.change_permission client ~region `R);
+  if w = `Ack then incr acks
+
+let clean_ignored client region = ignore (Memclient.write client ~region 0 "v")

@@ -1,0 +1,27 @@
+(* Clean twins of bad_y1.ml: none of these may fire. *)
+type t = { mutable pending : int list }
+
+let pause () = Engine.sleep 1.0
+
+(* write before the yield — the fixed Trusted.t_send shape. *)
+let clean_order (t : t) =
+  t.pending <- 1 :: t.pending;
+  pause ()
+
+(* read -> yield -> independent write: the new value is derived before
+   the suspension and does not re-read the location. *)
+let clean_rederive (t : t) =
+  let n = List.length t.pending in
+  pause ();
+  t.pending <- [ n ]
+
+(* locally created state cannot be seen by another fiber. *)
+let clean_local () =
+  let c = ref 0 in
+  pause ();
+  c := !c + 1;
+  !c
+
+(* read-modify-write with no suspension in between is atomic under
+   cooperative scheduling. *)
+let clean_no_yield (t : t) = t.pending <- 1 :: t.pending

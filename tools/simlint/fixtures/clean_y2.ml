@@ -1,0 +1,8 @@
+(* Implementation side of the clean Y2 fixture. *)
+let wait_turn () = Engine.yield ()
+
+let observe () =
+  wait_turn ();
+  1
+
+let pure x = x + 1

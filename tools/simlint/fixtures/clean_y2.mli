@@ -1,0 +1,6 @@
+(* The contract matches the implementation in both directions. *)
+val wait_turn : unit -> unit [@@sim.yields]
+
+val observe : unit -> int [@@sim.yields]
+
+val pure : int -> int

@@ -1,0 +1,2 @@
+(* A1: a suppression whose excused code is gone is itself a finding. *)
+let tidy x = x + 1 [@@simlint.allow "D1 left over from a removed Random.int"]

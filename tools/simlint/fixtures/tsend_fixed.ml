@@ -1,0 +1,15 @@
+(* The fixed Trusted.t_send shape: the Sent entry is appended before
+   the broadcast suspends, and the broadcast carries the pre-send
+   snapshot.  Must be silent. *)
+type entry = Sent of string | Received of string
+
+type t = { mutable history : entry list }
+
+let broadcast (_payload : string) = Engine.sleep 2.0
+
+let t_send t msg =
+  let oldest_first = List.rev t.history in
+  t.history <- Sent msg :: t.history;
+  let body = function Sent m -> m | Received m -> m in
+  let payload = String.concat "|" (msg :: List.map body oldest_first) in
+  broadcast payload

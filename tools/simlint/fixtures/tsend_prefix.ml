@@ -1,0 +1,18 @@
+(* Regression pin: Trusted.t_send as it shipped before the PR 2 fix.
+   The Sent append sat after Neb.broadcast's suspension, so a message
+   delivered in that window was recorded ahead of the Sent entry and
+   the next presented history failed the receivers' extends-check,
+   convicting a correct process.  Y1 must flag the append. *)
+type entry = Sent of string | Received of string
+
+type t = { mutable history : entry list }
+
+(* stands in for Neb.broadcast: blocks on the replicated write *)
+let broadcast (_payload : string) = Engine.sleep 2.0
+
+let t_send t msg =
+  let oldest_first = List.rev t.history in
+  let body = function Sent m -> m | Received m -> m in
+  let payload = String.concat "|" (msg :: List.map body oldest_first) in
+  broadcast payload;
+  t.history <- Sent msg :: t.history

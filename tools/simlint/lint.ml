@@ -1,58 +1,72 @@
-(* simlint: determinism & protocol-hygiene static analysis over the
-   repository's own sources.
+(* simlint: determinism, protocol-hygiene & yield-atomicity static
+   analysis over the repository's own sources.
 
    Every guarantee the simulator sells — byte-identical traces per seed,
-   replayable chaos repro artifacts, deterministic recovery schedules —
-   rests on conventions no type checker enforces: no ambient randomness
-   or wall-clock time outside the engine, no hash-order-dependent output,
-   no protocol handler that silently swallows a newly added message or
-   fault constructor behind a [_] wildcard.  simlint walks the untyped
-   parsetree ([compiler-libs.common]'s [Parse] + [Ast_iterator]; no ppx
-   in the build loop) and machine-checks those conventions.
+   replayable chaos repro artifacts, deterministic recovery schedules,
+   atomic leader-change steps — rests on conventions no type checker
+   enforces.  simlint walks the untyped parsetree
+   ([compiler-libs.common]'s [Parse] + [Ast_iterator]; no ppx in the
+   build loop) and machine-checks those conventions.
 
-   Rules (each individually toggleable):
+   v1 rules (per-expression; each individually toggleable):
 
-   - D1  banned nondeterminism primitives — global-state [Random.*]
-         ([self_init], [int], [bool], ...), [Unix.time]/[gettimeofday],
-         [Sys.time], and [Gc] queries — anywhere except [lib/sim].  The
-         engine owns the only RNG ([Random.State] threaded from the
-         seed) and the only clock (virtual time).
+   - D1  banned nondeterminism primitives — global-state [Random.*],
+         [Unix.time]/[gettimeofday], [Sys.time], [Gc] queries — anywhere
+         except [lib/sim].
    - D2  [Hashtbl.iter]/[Hashtbl.fold] whose result is not passed
-         directly through [List.sort]/[List.stable_sort]/[List.sort_uniq]:
-         hash-bucket order is an implementation detail and must never
-         reach a trace, report, or protocol decision unsorted.  (A
-         syntactic approximation: a fold that is provably
-         order-independent is suppressed with an attribute and a
-         one-line justification.)
+         directly through [List.sort]/[List.stable_sort]/[List.sort_uniq].
    - D3  a [_] wildcard arm in a [match]/[function] whose other arms
          mention a protocol message/fault constructor, inside the
-         designated protocol-handler trees ([lib/core], [lib/smr],
-         [lib/chaos]).  Protocol types are variant declarations named
-         [msg] in those trees, plus any declaration carrying
-         [@@simlint.protocol].  Wildcards there mean a newly added
-         constructor is silently swallowed instead of forcing every
-         handler to be revisited.
+         designated protocol-handler trees.
    - D4  physical equality [==]/[!=] outside [lib/sim].
    - D5  [Obj.magic] / [Marshal.*] anywhere.
-   - D6  module-level mutable state — a top-level [let] whose
-         right-hand side applies a mutable-container creator ([ref],
-         [Hashtbl.create], [Array.make], [Buffer.create], ...) outside
-         any function body — inside the designated task-parallel trees
-         ([lib/], [bench/]).  Such a value is shared by every domain
-         that touches the module, so it breaks the task isolation the
-         domain pool's determinism rests on; state belongs in the task
-         or its threaded config.
+   - D6  module-level mutable state inside the task-parallel trees.
 
-   Suppression: attach [@simlint.allow "D2"] to the offending
-   expression, its pattern (for D3 arms), an enclosing [let] binding, or
-   file-wide via a floating [@@@simlint.allow "..."]; several rule ids
-   may share one payload string ("D2 D4").  Alternatively list
-   [RULE-ID path-fragment] lines in a checked-in [simlint.allow] file.
-   Unknown rule ids in payloads are ignored (forward compatibility). *)
+   v2 rules (interprocedural, over the {!Callgraph} may-yield fixpoint):
 
-type rule = D1 | D2 | D3 | D4 | D5 | D6
+   - Y1  atomicity-across-yield: inside one function body, a read of
+         mutable state (mutable record field, [ref], [Hashtbl], array
+         slot) before a may-yield call, with a *dependent* write — one
+         whose right-hand side re-reads the same location — after it.
+         This is the exact shape of the [Trusted.t_send] bug PR 2's
+         chaos harness caught dynamically: the pre-yield read is stale
+         by the time the write commits, and any state mutated by a
+         concurrently scheduled fiber is silently clobbered.  Locations
+         created locally in the body ([let polls = ref 0]) are exempt —
+         under this linter's own approximations (deferred-context
+         callbacks excluded) nothing else can reach them across the
+         yield.
+   - Y2  yield-contract drift: an exported function that may yield must
+         carry [@@sim.yields] on its [val] in the [.mli], and a
+         non-yielding one must not — an interface-level atomicity
+         contract, checked on every build, anchored at the yield roots
+         in [lib/sim]'s own mlis.
+   - F1  fence discipline: outside [lib/rdma], branching on the
+         completion of a one-sided write (its [op_result] scrutinized by
+         a [match]/[if]) treats an RDMA completion as remote delivery.
+         Under the weak ordering models (DESIGN.md §12) a completion
+         does not imply visibility; the site needs an intervening
+         [Verbs.rdma_flush]/[Memclient.fence], a permission switch
+         (which drains the data plane), or an explicit
+         [@simlint.allow "F1 <structural reason>"] justification — the
+         per-algorithm excuses of EXPERIMENTS.md W2, made machine-
+         checked.
+   - A1  stale suppression: a [simlint.allow] attribute or allow-file
+         entry that no longer matches any finding is itself an error, so
+         suppressions cannot outlive the code they excused.
 
-let all_rules = [ D1; D2; D3; D4; D5; D6 ]
+   Suppression: attach [@simlint.allow "ID justification..."] to the
+   offending expression, its pattern (for D3 arms), an enclosing [let]
+   binding or [val] item, or file-wide via a floating
+   [@@@simlint.allow "..."]; several rule ids may share one payload
+   ("D2 D4"), and everything after the leading rule ids is the recorded
+   justification.  Alternatively list [RULE-ID path-fragment  # why]
+   lines in a checked-in [simlint.allow] file.  Unknown rule ids in
+   payloads are ignored (forward compatibility). *)
+
+type rule = D1 | D2 | D3 | D4 | D5 | D6 | Y1 | Y2 | F1 | A1
+
+let all_rules = [ D1; D2; D3; D4; D5; D6; Y1; Y2; F1; A1 ]
 
 let rule_id = function
   | D1 -> "D1"
@@ -61,6 +75,10 @@ let rule_id = function
   | D4 -> "D4"
   | D5 -> "D5"
   | D6 -> "D6"
+  | Y1 -> "Y1"
+  | Y2 -> "Y2"
+  | F1 -> "F1"
+  | A1 -> "A1"
 
 let rule_of_id = function
   | "D1" -> Some D1
@@ -69,27 +87,52 @@ let rule_of_id = function
   | "D4" -> Some D4
   | "D5" -> Some D5
   | "D6" -> Some D6
+  | "Y1" -> Some Y1
+  | "Y2" -> Some Y2
+  | "F1" -> Some F1
+  | "A1" -> Some A1
   | _ -> None
 
 type finding = {
   file : string;
   line : int;
   col : int;
+  offset : int;  (** char offset in file; drives suppression-range matching *)
   rule : rule;
   message : string;
+  suppressed : string option;
+      (** [Some justification] when an allow matched; [None] = active *)
 }
 
 let pp_finding ppf f =
   Format.fprintf ppf "%s:%d: [%s] %s" f.file f.line (rule_id f.rule) f.message
 
+(* An entry of the checked-in allow file (or an equivalent literal in a
+   test config): rule + path fragment + recorded justification.
+   [ae_source] is the allow file's own (path, line), used to report the
+   entry as stale when it stops matching. *)
+type allow_entry = {
+  ae_rule : rule;
+  ae_frag : string;
+  ae_just : string;
+  ae_source : (string * int) option;
+  mutable ae_used : bool;
+}
+
+let allow_frag rule frag =
+  { ae_rule = rule; ae_frag = frag; ae_just = ""; ae_source = None; ae_used = false }
+
 type config = {
   rules : rule list;  (** enabled rules *)
   sim_dirs : string list;
-      (** path fragments naming the engine tree exempt from D1/D4 *)
+      (** path fragments naming the engine tree exempt from D1/D4/Y1/F1 *)
   proto_dirs : string list;  (** path fragments where D3 applies *)
   mutable_dirs : string list;  (** path fragments where D6 applies *)
-  allow : (rule * string) list;
-      (** file-level allowlist: (rule, path fragment) pairs *)
+  yield_dirs : string list;  (** path fragments where Y1/F1 apply *)
+  y2_dirs : string list;  (** path fragments whose .mli carry the Y2 contract *)
+  fence_exempt_dirs : string list;
+      (** the substrate that implements the ordering models; F1-exempt *)
+  allow : allow_entry list;
 }
 
 let default_config =
@@ -98,6 +141,9 @@ let default_config =
     sim_dirs = [ "lib/sim/" ];
     proto_dirs = [ "lib/core/"; "lib/smr/"; "lib/chaos/" ];
     mutable_dirs = [ "lib/"; "bench/" ];
+    yield_dirs = [ "lib/"; "bench/" ];
+    y2_dirs = [ "lib/" ];
+    fence_exempt_dirs = [ "lib/rdma/" ];
     allow = [];
   }
 
@@ -110,29 +156,19 @@ let contains_fragment path frag =
 
 let in_dirs path dirs = List.exists (contains_fragment path) dirs
 
-(* "D2 D4" / "D2,D4" -> [D2; D4] *)
-let rules_of_payload s =
-  String.split_on_char ' ' s
-  |> List.concat_map (String.split_on_char ',')
-  |> List.filter_map (fun tok -> rule_of_id (String.trim tok))
+let longident_flatten = Callgraph.longident_flatten
 
-let rec longident_flatten = function
-  | Longident.Lident s -> [ s ]
-  | Longident.Ldot (t, s) -> longident_flatten t @ [ s ]
-  | Longident.Lapply (a, _) -> longident_flatten a
+let strip_stdlib = Callgraph.strip_stdlib
 
-(* Strip a [Stdlib.] qualifier so [Stdlib.Obj.magic] = [Obj.magic]. *)
-let strip_stdlib = function "Stdlib" :: rest -> rest | path -> path
-
-let module_of_path file =
-  Filename.basename file |> Filename.remove_extension
-  |> String.capitalize_ascii
+let module_of_path = Callgraph.module_of_path
 
 (* {2 Attribute handling} *)
 
 let allow_attr_name = "simlint.allow"
 
 let protocol_attr_name = "simlint.protocol"
+
+let yields_attr_name = Callgraph.yields_attr_name
 
 let string_of_payload = function
   | Parsetree.PStr
@@ -147,22 +183,164 @@ let string_of_payload = function
       Some s
   | _ -> None
 
-let allows_of_attributes attrs =
-  List.concat_map
-    (fun (a : Parsetree.attribute) ->
-      if a.attr_name.txt <> allow_attr_name then []
-      else
-        match string_of_payload a.attr_payload with
-        | Some s -> rules_of_payload s
-        | None -> [])
-    attrs
+(* "D2, D4 justification text" -> ([D2; D4], "justification text"): the
+   leading tokens that parse as rule ids are the granted rules, and the
+   remainder of the payload — punctuation intact — is the recorded
+   justification. *)
+let parse_allow_payload s =
+  let n = String.length s in
+  let is_sep c = c = ' ' || c = '\t' || c = '\n' || c = ',' in
+  let rec go i rules =
+    let i =
+      let j = ref i in
+      while !j < n && is_sep s.[!j] do incr j done;
+      !j
+    in
+    if i >= n then (List.rev rules, "")
+    else
+      let j =
+        let j = ref i in
+        while !j < n && not (is_sep s.[!j]) do incr j done;
+        !j
+      in
+      match rule_of_id (String.sub s i (j - i)) with
+      | Some r -> go j (r :: rules)
+      | None ->
+          (* justification: normalize the line breaks of multi-line
+             string literals, keep everything else *)
+          let rest = String.sub s i (n - i) in
+          let words =
+            String.split_on_char '\n' rest
+            |> List.concat_map (String.split_on_char ' ')
+            |> List.filter (fun w -> w <> "")
+          in
+          (List.rev rules, String.concat " " words)
+  in
+  go 0 []
 
 let has_protocol_attr attrs =
   List.exists
     (fun (a : Parsetree.attribute) -> a.attr_name.txt = protocol_attr_name)
     attrs
 
+let has_yields_attr attrs =
+  List.exists
+    (fun (a : Parsetree.attribute) -> a.attr_name.txt = yields_attr_name)
+    attrs
+
+(* {2 Suppression sites}
+
+   Every [@simlint.allow] in a file becomes a site covering the char
+   range of the node it is attached to (the whole file for floating
+   [@@@simlint.allow]).  Findings are computed unsuppressed, then
+   filtered: a finding whose offset falls inside a matching site is
+   downgraded to suppressed (carrying the site's justification), and the
+   site is marked used.  Sites that never match are rule A1 findings —
+   the stale-suppression detector. *)
+
+type allow_site = {
+  s_rules : rule list;
+  s_just : string;
+  s_file : string;
+  s_line : int;  (** of the attribute, for A1 reports *)
+  s_col : int;
+  s_offset : int;
+  s_lo : int;  (** covered char range [s_lo, s_hi) *)
+  s_hi : int;
+  mutable s_used : bool;
+}
+
+let site_of_attr ~file ~(range : Location.t) (a : Parsetree.attribute) =
+  if a.attr_name.txt <> allow_attr_name then None
+  else
+    match string_of_payload a.attr_payload with
+    | None -> None
+    | Some s ->
+        let rules, just = parse_allow_payload s in
+        if rules = [] then None
+        else
+          let pos = a.attr_loc.loc_start in
+          Some
+            {
+              s_rules = rules;
+              s_just = just;
+              s_file = file;
+              s_line = pos.pos_lnum;
+              s_col = pos.pos_cnum - pos.pos_bol;
+              s_offset = pos.pos_cnum;
+              s_lo = range.loc_start.pos_cnum;
+              s_hi = range.loc_end.pos_cnum;
+              s_used = false;
+            }
+
+let whole_file : Location.t =
+  let p = { Lexing.pos_fname = ""; pos_lnum = 0; pos_bol = 0; pos_cnum = 0 } in
+  {
+    Location.loc_start = p;
+    loc_end = { p with pos_cnum = max_int };
+    loc_ghost = true;
+  }
+
+let collect_sites_structure ~file (ast : Parsetree.structure) =
+  let sites = ref [] in
+  let add ~range attrs =
+    List.iter
+      (fun a ->
+        match site_of_attr ~file ~range a with
+        | Some s -> sites := s :: !sites
+        | None -> ())
+      attrs
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          add ~range:e.pexp_loc e.pexp_attributes;
+          Ast_iterator.default_iterator.expr it e);
+      pat =
+        (fun it p ->
+          add ~range:p.ppat_loc p.ppat_attributes;
+          Ast_iterator.default_iterator.pat it p);
+      value_binding =
+        (fun it vb ->
+          add ~range:vb.pvb_loc vb.pvb_attributes;
+          Ast_iterator.default_iterator.value_binding it vb);
+      structure_item =
+        (fun it si ->
+          (match si.pstr_desc with
+          | Pstr_attribute a -> add ~range:whole_file [ a ]
+          | _ -> ());
+          Ast_iterator.default_iterator.structure_item it si);
+    }
+  in
+  it.structure it ast;
+  !sites
+
+let collect_sites_signature ~file (sg : Parsetree.signature) =
+  let sites = ref [] in
+  let add ~range attrs =
+    List.iter
+      (fun a ->
+        match site_of_attr ~file ~range a with
+        | Some s -> sites := s :: !sites
+        | None -> ())
+      attrs
+  in
+  List.iter
+    (fun (si : Parsetree.signature_item) ->
+      match si.psig_desc with
+      | Psig_attribute a -> add ~range:whole_file [ a ]
+      | Psig_value vd -> add ~range:si.psig_loc vd.pval_attributes
+      | _ -> ())
+    sg;
+  !sites
+
 (* {2 Parsing} *)
+
+type unit_ast =
+  | Impl of Parsetree.structure
+  | Intf of Parsetree.signature
 
 let parse_file path =
   let ic = open_in_bin path in
@@ -172,18 +350,10 @@ let parse_file path =
       let lexbuf = Lexing.from_channel ic in
       lexbuf.lex_curr_p <-
         { pos_fname = path; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 };
-      Parse.implementation lexbuf)
+      if Filename.check_suffix path ".mli" then Intf (Parse.interface lexbuf)
+      else Impl (Parse.implementation lexbuf))
 
-(* {2 Pass 1: harvest protocol constructors (for D3)}
-
-   A constructor is "protocol" when its variant declaration either is
-   named [msg] inside a designated protocol tree or carries
-   [@@simlint.protocol] anywhere.  Each harvested constructor remembers
-   its declaring module (derived from the file name) so a qualified
-   pattern [Paxos.Decide] only counts against Paxos's declaration and an
-   unqualified [Decide] only counts inside the declaring file — a
-   [Decide] constructor of some unrelated type in another module never
-   triggers D3 by name collision. *)
+(* {2 Pass 1: harvest protocol constructors (for D3)} *)
 
 type proto_ctor = { ctor : string; decl_module : string }
 
@@ -220,7 +390,7 @@ let harvest_protocol_ctors cfg (files : (string * Parsetree.structure) list) =
     files;
   !acc
 
-(* {2 Pass 2: per-file checks} *)
+(* {2 Pass 2: per-file expression checks (the v1 D rules)} *)
 
 (* D1 — banned ambient-nondeterminism idents, by flattened path. *)
 let d1_banned path_components =
@@ -293,9 +463,7 @@ let d6_creator = function
 
 (* Mutable-creator applications reachable from [e] without entering a
    function body: whatever they build is constructed once, at module
-   initialization, not per call.  Expression-level [@simlint.allow]
-   attributes are honoured here because the D6 scan runs from the
-   structure-item hook, outside the expression-walk suppression stack. *)
+   initialization, not per call. *)
 let d6_creator_apps (e : Parsetree.expression) =
   let found = ref [] in
   let it =
@@ -309,11 +477,8 @@ let d6_creator_apps (e : Parsetree.expression) =
               (match e.pexp_desc with
               | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
                   match d6_creator (strip_stdlib (longident_flatten txt)) with
-                  | Some name
-                    when not (List.mem D6 (allows_of_attributes e.pexp_attributes))
-                    ->
-                      found := (e.pexp_loc, name) :: !found
-                  | _ -> ())
+                  | Some name -> found := (e.pexp_loc, name) :: !found
+                  | None -> ())
               | _ -> ());
               Ast_iterator.default_iterator.expr it e);
     }
@@ -350,9 +515,7 @@ let rec pattern_is_wildcard (p : Parsetree.pattern) =
   | Ppat_or (a, b) -> pattern_is_wildcard a || pattern_is_wildcard b
   | _ -> false
 
-(* Does [p] mention a harvested protocol constructor anywhere?  An
-   unqualified constructor only counts in its declaring file; a
-   qualified one only under its declaring module's name. *)
+(* Does [p] mention a harvested protocol constructor anywhere? *)
 let pattern_mentions_proto ~ctors ~file_module (p : Parsetree.pattern) =
   let found = ref false in
   let check lid =
@@ -411,36 +574,482 @@ let proto_ctor_names ~ctors ~file_module cases =
     cases
   |> List.sort_uniq compare
 
-let lint_file cfg ~ctors (path, (ast : Parsetree.structure)) =
+(* {2 Pass 3: the interprocedural Y1/F1 body analysis}
+
+   A single approximate-evaluation-order walk per harvested function
+   body, tracking three event planes at once:
+
+   - Y1: reads/writes of named mutable locations and yield points.  A
+     location key is the access path ("t.history", "pending", ...);
+     reads move to the stale set when a yield passes; a dependent write
+     (RHS re-reads the key) to a stale key is a finding.
+   - F1: one-sided write issues, fence/permission-switch calls, and
+     branch points whose scrutinee observes a write completion (a direct
+     issuer application, or a variable bound to one).  A branch with no
+     fence after its issue point is a finding.
+   - Branches ([match]/[if]/[try]) fork the Y1 state and merge by
+     union; loop bodies are walked once (the read-yield-write shape is
+     visible in a single linearized iteration). *)
+
+module SMap = Map.Make (String)
+
+type ystate = {
+  fresh : Location.t SMap.t;  (* key -> read loc, no yield crossed yet *)
+  stale : (Location.t * Location.t) SMap.t;  (* key -> (read, yield) locs *)
+  comp : int SMap.t;  (* completion-result variables -> issue position *)
+}
+
+let y_empty = { fresh = SMap.empty; stale = SMap.empty; comp = SMap.empty }
+
+let y_merge a b =
+  {
+    fresh = SMap.union (fun _ l _ -> Some l) a.fresh b.fresh;
+    stale = SMap.union (fun _ l _ -> Some l) a.stale b.stale;
+    comp = SMap.union (fun _ l _ -> Some l) a.comp b.comp;
+  }
+
+(* The access path of a location expression: an identifier or a chain of
+   field projections rooted at one ("t", "t.history").  Anything more
+   exotic is not tracked. *)
+let rec path_of (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } ->
+      Some (String.concat "." (strip_stdlib (longident_flatten txt)))
+  | Pexp_field (b, { txt; _ }) -> (
+      match (path_of b, List.rev (longident_flatten txt)) with
+      | Some p, f :: _ -> Some (p ^ "." ^ f)
+      | _ -> None)
+  | Pexp_constraint (e, _) -> path_of e
+  | _ -> None
+
+let path_root p = match String.index_opt p '.' with
+  | Some i -> String.sub p 0 i
+  | None -> p
+
+let hashtbl_read = function
+  | [ "Hashtbl"; ("find" | "find_opt" | "find_all" | "mem" | "length"
+                 | "iter" | "fold") ] -> true
+  | _ -> false
+
+let hashtbl_write = function
+  | [ "Hashtbl"; ("add" | "replace" | "remove" | "reset" | "clear"
+                 | "filter_map_inplace") ] -> true
+  | _ -> false
+
+let array_read = function
+  | [ ("Array" | "Bytes" | "String"); ("get" | "unsafe_get") ] -> true
+  | _ -> false
+
+let array_write = function
+  | [ ("Array" | "Bytes"); ("set" | "unsafe_set" | "fill" | "blit") ] -> true
+  | _ -> false
+
+(* Does [e] read location [key] anywhere (dereference, field read, array
+   get, Hashtbl read)?  Decides write "dependence" — a stale
+   read-modify-write re-reads the location it clobbers. *)
+let mentions_read ~key (e : Parsetree.expression) =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_field _ -> if path_of e = Some key then found := true
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+              let p = strip_stdlib (longident_flatten txt) in
+              let arg1_is_key () =
+                match args with
+                | (_, a) :: _ -> path_of a = Some key
+                | [] -> false
+              in
+              match p with
+              | [ "!" ] -> if arg1_is_key () then found := true
+              | _ ->
+                  if (array_read p || hashtbl_read p) && arg1_is_key () then
+                    found := true)
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* One analyzed function body.  Lambdas handed to the deferred-context
+   primitives (fiber spawns, completion callbacks) run on another fiber:
+   they are excluded from this body's event order and recursively
+   analyzed as bodies of their own, with fresh state. *)
+let rec analyze_body ~graph ~file ~modname ~check_y1 ~check_f1 ~report body =
+  let locals : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let pos = ref 0 in
+  let fences = ref [] in
+  (* (issue position, branch loc) *)
+  let candidates = ref [] in
+  (* lambda bodies spawned onto other fibers, analyzed separately *)
+  let spawned = ref [] in
+  let defer_args args =
+    List.iter
+      (fun ((_, a) : _ * Parsetree.expression) ->
+        match a.pexp_desc with
+        | Pexp_fun _ | Pexp_function _ -> spawned := a :: !spawned
+        | _ -> ())
+      args
+  in
+  let resolve lid = Callgraph.resolve graph ~file ~modname lid in
+  let tick () = incr pos; !pos in
+  let tracked key =
+    not (Hashtbl.mem locals (path_root key))
+  in
+  let read st key loc =
+    ignore (tick ());
+    if tracked key && not (SMap.mem key st.fresh) then
+      { st with fresh = SMap.add key loc st.fresh }
+    else st
+  in
+  let write st key loc ~dependent =
+    ignore (tick ());
+    (if check_y1 && dependent && tracked key then
+       match SMap.find_opt key st.stale with
+       | Some (read_loc, yield_loc) ->
+           report ~loc Y1
+             (Printf.sprintf
+                "read-modify-write of %s spans a yield: read at line %d, \
+                 suspension at line %d, dependent write here — concurrent \
+                 fibers can mutate %s inside that window (the Trusted.t_send \
+                 bug shape); move the write before the yield, re-derive the \
+                 state after it, or justify with [@simlint.allow \"Y1 \
+                 <why>\"]"
+                key read_loc.Location.loc_start.pos_lnum
+                yield_loc.Location.loc_start.pos_lnum key)
+       | None -> ());
+    st
+  in
+  let yield st yloc =
+    ignore (tick ());
+    {
+      st with
+      stale =
+        SMap.fold
+          (fun key rloc acc ->
+            if SMap.mem key acc then acc else SMap.add key (rloc, yloc) acc)
+          st.fresh st.stale;
+    }
+  in
+  (* Does [e] contain an application of a one-sided write issuer? *)
+  let contains_issuer e =
+    let found = ref false in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun it e ->
+            (match e.pexp_desc with
+            | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+                match resolve txt with
+                | Some id when Callgraph.is_write_issuer graph id ->
+                    found := true
+                | _ -> ())
+            | _ -> ());
+            Ast_iterator.default_iterator.expr it e);
+      }
+    in
+    it.expr it e;
+    !found
+  in
+  (* A scrutinee/condition that observes a write completion: a direct
+     issuer application, or a mention of a variable bound to one. *)
+  let completion_observed st e =
+    if contains_issuer e then Some !pos
+    else
+      let found = ref None in
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun it e ->
+              (match e.pexp_desc with
+              | Pexp_ident { txt = Lident x; _ } -> (
+                  match SMap.find_opt x st.comp with
+                  | Some p when !found = None -> found := Some p
+                  | _ -> ())
+              | _ -> ());
+              Ast_iterator.default_iterator.expr it e);
+        }
+      in
+      it.expr it e;
+      !found
+  in
+  let observe_branch st scrut =
+    if check_f1 then
+      match completion_observed st scrut with
+      | Some issue_pos ->
+          candidates := (issue_pos, scrut.Parsetree.pexp_loc) :: !candidates
+      | None -> ()
+  in
+  let rec walk st (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_ident _ | Pexp_constant _ -> st
+    | Pexp_field (b, { txt; _ }) -> (
+        let st = walk st b in
+        match (path_of e, List.rev (longident_flatten txt)) with
+        | Some key, f :: _ when Callgraph.is_mutable_field graph f ->
+            read st key e.pexp_loc
+        | _ -> st)
+    | Pexp_setfield (b, { txt; _ }, rhs) -> (
+        let st = walk st b in
+        let st = walk st rhs in
+        match (path_of b, List.rev (longident_flatten txt)) with
+        | Some bp, f :: _ ->
+            let key = bp ^ "." ^ f in
+            write st key e.pexp_loc ~dependent:(mentions_read ~key rhs)
+        | _ -> st)
+    | Pexp_apply (({ pexp_desc = Pexp_ident { txt; _ }; _ } as hd), args) -> (
+        let p = strip_stdlib (longident_flatten txt) in
+        let resolved = resolve txt in
+        let deferred =
+          match resolved with
+          | Some id -> Callgraph.is_deferred graph id
+          | None -> false
+        in
+        if deferred then begin
+          defer_args args;
+          st
+        end
+        else
+          let arg_path i =
+            match List.nth_opt args i with
+            | Some (_, a) -> path_of a
+            | None -> None
+          in
+          match p with
+          | [ "!" ] -> (
+              let st = List.fold_left (fun st (_, a) -> walk st a) st args in
+              match arg_path 0 with
+              | Some key -> read st key e.pexp_loc
+              | None -> st)
+          | [ ":=" ] -> (
+              let st = List.fold_left (fun st (_, a) -> walk st a) st args in
+              match arg_path 0 with
+              | Some key ->
+                  let dependent =
+                    match args with
+                    | _ :: (_, rhs) :: _ ->
+                        mentions_read ~key rhs
+                        ||
+                        (* !key inside rhs: the [!] application *)
+                        (let found = ref false in
+                         let it =
+                           {
+                             Ast_iterator.default_iterator with
+                             expr =
+                               (fun it e ->
+                                 (match e.pexp_desc with
+                                 | Pexp_apply
+                                     ( { pexp_desc = Pexp_ident { txt = Lident "!"; _ }; _ },
+                                       [ (_, a) ] )
+                                   when path_of a = Some key ->
+                                     found := true
+                                 | _ -> ());
+                                 Ast_iterator.default_iterator.expr it e);
+                           }
+                         in
+                         it.expr it rhs;
+                         !found)
+                    | _ -> false
+                  in
+                  write st key e.pexp_loc ~dependent
+              | None -> st)
+          | [ ("incr" | "decr") ] -> (
+              let st = List.fold_left (fun st (_, a) -> walk st a) st args in
+              match arg_path 0 with
+              | Some key ->
+                  let st = read st key e.pexp_loc in
+                  write st key e.pexp_loc ~dependent:true
+              | None -> st)
+          | _ when array_read p -> (
+              let st = List.fold_left (fun st (_, a) -> walk st a) st args in
+              match arg_path 0 with
+              | Some key -> read st key e.pexp_loc
+              | None -> st)
+          | _ when array_write p -> (
+              let st = List.fold_left (fun st (_, a) -> walk st a) st args in
+              match arg_path 0 with
+              | Some key ->
+                  let dependent =
+                    List.exists (fun (_, a) -> mentions_read ~key a)
+                      (match args with _ :: rest -> rest | [] -> [])
+                  in
+                  write st key e.pexp_loc ~dependent
+              | None -> st)
+          | _ when hashtbl_read p -> (
+              let st = List.fold_left (fun st (_, a) -> walk st a) st args in
+              match arg_path 0 with
+              | Some key -> read st key e.pexp_loc
+              | None -> st)
+          | _ when hashtbl_write p -> (
+              let st = List.fold_left (fun st (_, a) -> walk st a) st args in
+              match arg_path 0 with
+              | Some key ->
+                  let dependent =
+                    List.exists (fun (_, a) -> mentions_read ~key a)
+                      (match args with _ :: rest -> rest | [] -> [])
+                  in
+                  write st key e.pexp_loc ~dependent
+              | None -> st)
+          | _ ->
+              let st = walk st hd in
+              let st = List.fold_left (fun st (_, a) -> walk st a) st args in
+              (match resolved with
+              | Some id when check_f1 && Callgraph.is_fence graph id ->
+                  fences := tick () :: !fences
+              | _ -> ());
+              (match resolved with
+              | Some id when Callgraph.may_yield graph id ->
+                  yield st e.pexp_loc
+              | _ -> st))
+    | Pexp_apply
+        (({ pexp_desc = Pexp_field (_, { txt = flid; _ }); _ } as hd), args)
+      -> (
+        (* [ctx.spawn_sub "name" (fun () -> ...)]: the callback runs on
+           the new fiber, not here *)
+        match List.rev (longident_flatten flid) with
+        | f :: _ when Callgraph.is_deferred_field f ->
+            defer_args args;
+            st
+        | _ ->
+            let st = walk st hd in
+            List.fold_left (fun st (_, a) -> walk st a) st args)
+    | Pexp_apply (hd, args) ->
+        let st = walk st hd in
+        List.fold_left (fun st (_, a) -> walk st a) st args
+    | Pexp_let (_, vbs, body) ->
+        let st =
+          List.fold_left
+            (fun st (vb : Parsetree.value_binding) ->
+              let st = walk st vb.pvb_expr in
+              match vb.pvb_pat.ppat_desc with
+              | Ppat_var { txt = x; _ } ->
+                  let creator =
+                    match head_ident vb.pvb_expr with
+                    | Some p -> d6_creator p <> None
+                    | None -> (
+                        match vb.pvb_expr.pexp_desc with
+                        | Pexp_record _ | Pexp_array _ -> true
+                        | _ -> false)
+                  in
+                  if creator then Hashtbl.replace locals x ();
+                  if check_f1 && contains_issuer vb.pvb_expr then
+                    { st with comp = SMap.add x !pos st.comp }
+                  else { st with comp = SMap.remove x st.comp }
+              | _ -> st)
+            st vbs
+        in
+        walk st body
+    | Pexp_sequence (a, b) ->
+        let st = walk st a in
+        walk st b
+    | Pexp_ifthenelse (c, t, e_opt) ->
+        let st = walk st c in
+        observe_branch st c;
+        let st_t = walk st t in
+        let st_e = match e_opt with Some e -> walk st e | None -> st in
+        y_merge st_t st_e
+    | Pexp_match (scrut, cases) ->
+        let st = walk st scrut in
+        observe_branch st scrut;
+        List.fold_left
+          (fun acc (c : Parsetree.case) ->
+            let st_g =
+              match c.pc_guard with Some g -> walk st g | None -> st
+            in
+            y_merge acc (walk st_g c.pc_rhs))
+          st cases
+    | Pexp_try (b, cases) ->
+        let st_b = walk st b in
+        List.fold_left
+          (fun acc (c : Parsetree.case) -> y_merge acc (walk st_b c.pc_rhs))
+          st_b cases
+    | Pexp_function cases ->
+        List.fold_left
+          (fun acc (c : Parsetree.case) ->
+            let st_g =
+              match c.pc_guard with Some g -> walk st g | None -> st
+            in
+            y_merge acc (walk st_g c.pc_rhs))
+          st cases
+    | Pexp_fun (_, default, _, body) ->
+        let st =
+          match default with Some d -> walk st d | None -> st
+        in
+        walk st body
+    | Pexp_while (c, b) ->
+        let st = walk st c in
+        walk st b
+    | Pexp_for (_, lo, hi, _, b) ->
+        let st = walk st lo in
+        let st = walk st hi in
+        walk st b
+    | Pexp_construct (_, Some e)
+    | Pexp_variant (_, Some e)
+    | Pexp_assert e | Pexp_lazy e | Pexp_newtype (_, e)
+    | Pexp_open (_, e) | Pexp_letexception (_, e)
+    | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_poly (e, _)
+    | Pexp_send (e, _) | Pexp_setinstvar (_, e) ->
+        walk st e
+    | Pexp_tuple es | Pexp_array es ->
+        List.fold_left walk st es
+    | Pexp_record (fields, base) ->
+        let st = match base with Some b -> walk st b | None -> st in
+        List.fold_left (fun st (_, e) -> walk st e) st fields
+    | Pexp_letmodule (_, _, e) -> walk st e
+    | Pexp_letop { let_; ands; body } ->
+        let st = walk st let_.pbop_exp in
+        let st =
+          List.fold_left (fun st (b : Parsetree.binding_op) -> walk st b.pbop_exp)
+            st ands
+        in
+        walk st body
+    | _ -> st
+  in
+  ignore (walk y_empty body);
+  List.iter
+    (analyze_body ~graph ~file ~modname ~check_y1 ~check_f1 ~report)
+    (List.rev !spawned);
+  if check_f1 then
+    List.iter
+      (fun (issue_pos, loc) ->
+        if not (List.exists (fun f -> f > issue_pos) !fences) then
+          report ~loc F1
+            "branches on a one-sided write completion as if it implied \
+             remote delivery; under a weak ordering model (DESIGN.md §12) \
+             completion does not mean visibility — fence first \
+             (Memclient.fence / Verbs.rdma_flush), switch permissions \
+             (which drains the data plane), or record the structural \
+             reason this is safe with [@simlint.allow \"F1 <why>\"]")
+      (List.rev !candidates)
+
+(* {2 Per-file linting} *)
+
+let lint_structure cfg ~ctors ~graph (path, (ast : Parsetree.structure)) =
   let findings = ref [] in
   let file_module = module_of_path path in
   let in_sim = in_dirs path cfg.sim_dirs in
   let in_proto = in_dirs path cfg.proto_dirs in
   let in_mutable = in_dirs path cfg.mutable_dirs in
+  let in_yield = in_dirs path cfg.yield_dirs && not in_sim in
   let enabled r = List.mem r cfg.rules in
-  (* Suppression state: a stack of attribute-granted rule sets plus a
-     file-wide set fed by floating [@@@simlint.allow] and the config's
-     allow list. *)
-  let allow_stack = ref [] in
-  let file_allows =
-    ref
-      (List.filter_map
-         (fun (r, frag) -> if contains_fragment path frag then Some r else None)
-         cfg.allow)
-  in
-  let allowed r =
-    List.mem r !file_allows || List.exists (List.mem r) !allow_stack
-  in
   let report ~loc rule message =
-    if enabled rule && not (allowed rule) then
+    if enabled rule then
       let pos = loc.Location.loc_start in
       findings :=
         {
           file = path;
           line = pos.pos_lnum;
           col = pos.pos_cnum - pos.pos_bol;
+          offset = pos.pos_cnum;
           rule;
           message;
+          suppressed = None;
         }
         :: !findings
   in
@@ -462,8 +1071,6 @@ let lint_file cfg ~ctors (path, (ast : Parsetree.structure)) =
   in
   let check_expr (e : Parsetree.expression) =
     match e.pexp_desc with
-    (* Sanction [Hashtbl.fold ... |> List.sort ...] and
-       [List.sort cmp (Hashtbl.fold ...)]. *)
     | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Lident "|>"; _ }; _ },
                   [ (_, lhs); (_, rhs) ]) -> (
         match head_ident rhs with
@@ -522,10 +1129,7 @@ let lint_file cfg ~ctors (path, (ast : Parsetree.structure)) =
           if mentions then
             List.iter
               (fun (c : Parsetree.case) ->
-                if
-                  pattern_is_wildcard c.pc_lhs
-                  && not (List.mem D3 (allows_of_attributes c.pc_lhs.ppat_attributes))
-                then
+                if pattern_is_wildcard c.pc_lhs then
                   report ~loc:c.pc_lhs.ppat_loc D3
                     (Printf.sprintf
                        "wildcard arm in a match over protocol constructors \
@@ -538,48 +1142,23 @@ let lint_file cfg ~ctors (path, (ast : Parsetree.structure)) =
         end
     | _ -> ()
   in
-  let with_allows pushed f =
-    match pushed with
-    | [] -> f ()
-    | _ ->
-        allow_stack := pushed :: !allow_stack;
-        f ();
-        allow_stack := List.tl !allow_stack
-  in
   let it =
     {
       Ast_iterator.default_iterator with
       expr =
         (fun it e ->
-          with_allows (allows_of_attributes e.pexp_attributes) (fun () ->
-              check_expr e;
-              Ast_iterator.default_iterator.expr it e));
-      value_binding =
-        (fun it vb ->
-          with_allows (allows_of_attributes vb.pvb_attributes) (fun () ->
-              Ast_iterator.default_iterator.value_binding it vb));
-      pat =
-        (fun it p ->
-          with_allows (allows_of_attributes p.ppat_attributes) (fun () ->
-              Ast_iterator.default_iterator.pat it p));
+          check_expr e;
+          Ast_iterator.default_iterator.expr it e);
       structure_item =
         (fun it si ->
           (match si.pstr_desc with
-          | Pstr_attribute a ->
-              if a.attr_name.txt = allow_attr_name then
-                Option.iter
-                  (fun s -> file_allows := rules_of_payload s @ !file_allows)
-                  (string_of_payload a.attr_payload)
           | Pstr_value (_, vbs) when in_mutable && enabled D6 ->
               (* Structure items only occur at module level (the
                  expression walk never re-enters here), so every binding
                  seen by this hook is module state. *)
               List.iter
                 (fun (vb : Parsetree.value_binding) ->
-                  if
-                    pattern_binds vb.pvb_pat
-                    && not (List.mem D6 (allows_of_attributes vb.pvb_attributes))
-                  then
+                  if pattern_binds vb.pvb_pat then
                     List.iter
                       (fun (loc, name) ->
                         report ~loc D6
@@ -597,7 +1176,154 @@ let lint_file cfg ~ctors (path, (ast : Parsetree.structure)) =
     }
   in
   it.structure it ast;
+  (* Y1 + F1: one pass per harvested function body of this file. *)
+  let check_y1 = enabled Y1 && in_yield in
+  let check_f1 =
+    enabled F1 && in_yield && not (in_dirs path cfg.fence_exempt_dirs)
+  in
+  if check_y1 || check_f1 then
+    List.iter
+      (fun (d : Callgraph.def) ->
+        analyze_body ~graph ~file:path ~modname:(fst d.Callgraph.d_id)
+          ~check_y1 ~check_f1 ~report d.Callgraph.d_body)
+      (Callgraph.defs_of_file graph path);
   !findings
+
+(* Y2 over an interface: every top-level arrow-typed [val] must carry
+   [@@sim.yields] exactly when its implementation may yield. *)
+let rec core_type_is_arrow (ct : Parsetree.core_type) =
+  match ct.ptyp_desc with
+  | Ptyp_arrow _ -> true
+  | Ptyp_poly (_, c) | Ptyp_alias (c, _) -> core_type_is_arrow c
+  | _ -> false
+
+let lint_signature cfg ~graph (path, (sg : Parsetree.signature)) =
+  if not (in_dirs path cfg.y2_dirs) then []
+  else if not (List.mem Y2 cfg.rules) then []
+  else begin
+    let file_module = module_of_path path in
+    let findings = ref [] in
+    let report ~(loc : Location.t) message =
+      let pos = loc.loc_start in
+      findings :=
+        {
+          file = path;
+          line = pos.pos_lnum;
+          col = pos.pos_cnum - pos.pos_bol;
+          offset = pos.pos_cnum;
+          rule = Y2;
+          message;
+          suppressed = None;
+        }
+        :: !findings
+    in
+    List.iter
+      (fun (si : Parsetree.signature_item) ->
+        match si.psig_desc with
+        | Psig_value vd when core_type_is_arrow vd.pval_type ->
+            let name = vd.pval_name.txt in
+            let yields =
+              Callgraph.may_yield graph (file_module, name)
+            in
+            let declared = has_yields_attr vd.pval_attributes in
+            if yields && not declared then
+              report ~loc:vd.pval_loc
+                (Printf.sprintf
+                   "%s.%s may suspend the calling fiber (it transitively \
+                    reaches a yield) but its val is not marked — callers \
+                    cannot see the atomicity boundary; add [@@sim.yields] \
+                    to the val in %s"
+                   file_module name (Filename.basename path))
+            else if declared && not yields then
+              report ~loc:vd.pval_loc
+                (Printf.sprintf
+                   "%s.%s is declared [@@sim.yields] but no yield is \
+                    reachable from its implementation — the contract has \
+                    drifted; drop the attribute (or fix the \
+                    implementation)"
+                   file_module name)
+        | _ -> ())
+      sg;
+    !findings
+  end
+
+(* {2 Suppression application + stale detection} *)
+
+let apply_suppressions ~sites ~allow findings =
+  List.map
+    (fun f ->
+      let matching =
+        List.filter
+          (fun s ->
+            s.s_file = f.file
+            && List.mem f.rule s.s_rules
+            && f.offset >= s.s_lo && f.offset < s.s_hi)
+          sites
+      in
+      let entry_matching =
+        List.filter
+          (fun e -> e.ae_rule = f.rule && contains_fragment f.file e.ae_frag)
+          allow
+      in
+      match (matching, entry_matching) with
+      | [], [] -> f
+      | sites', entries ->
+          List.iter (fun s -> s.s_used <- true) sites';
+          List.iter (fun e -> e.ae_used <- true) entries;
+          let just =
+            match sites' with
+            | s :: _ -> s.s_just
+            | [] -> ( match entries with e :: _ -> e.ae_just | [] -> "")
+          in
+          { f with suppressed = Some just })
+    findings
+
+let stale_findings cfg ~sites ~allow =
+  if not (List.mem A1 cfg.rules) then []
+  else
+    let enabled r = List.mem r cfg.rules in
+    let of_site s =
+      if s.s_used || not (List.exists enabled s.s_rules) then None
+      else
+        Some
+          {
+            file = s.s_file;
+            line = s.s_line;
+            col = s.s_col;
+            offset = s.s_offset;
+            rule = A1;
+            message =
+              Printf.sprintf
+                "stale suppression: [@simlint.allow \"%s\"] matches no \
+                 current finding — the code it excused is gone; delete the \
+                 attribute so it cannot silently cover future regressions"
+                (String.concat " " (List.map rule_id s.s_rules));
+            suppressed = None;
+          }
+    in
+    let of_entry e =
+      match e.ae_source with
+      | None -> None (* literal config entries carry no reportable site *)
+      | Some (file, line) ->
+          if e.ae_used || not (enabled e.ae_rule) then None
+          else
+            Some
+              {
+                file;
+                line;
+                col = 0;
+                offset = line;
+                rule = A1;
+                message =
+                  Printf.sprintf
+                    "stale suppression: allow-file entry \"%s %s\" matches \
+                     no current finding — delete the line so it cannot \
+                     silently cover future regressions"
+                    (rule_id e.ae_rule) e.ae_frag;
+                suppressed = None;
+              }
+    in
+    List.filter_map of_site sites @ List.filter_map of_entry allow
 
 (* {2 Entry points} *)
 
@@ -605,68 +1331,130 @@ let compare_findings a b =
   compare (a.file, a.line, a.col, rule_id a.rule)
     (b.file, b.line, b.col, rule_id b.rule)
 
-(* Lint already-parsed units (the fixture tests feed these). *)
-let lint_parsed cfg files =
-  let ctors = harvest_protocol_ctors cfg files in
-  List.concat_map (lint_file cfg ~ctors) files |> List.sort compare_findings
+(* Lint already-parsed units (the fixture tests feed these).  Returns
+   every finding, suppressed ones included, in stable order. *)
+let lint_parsed_all cfg (units : (string * unit_ast) list) =
+  let impls =
+    List.filter_map
+      (function path, Impl ast -> Some (path, ast) | _, Intf _ -> None)
+      units
+  in
+  let intfs =
+    List.filter_map
+      (function path, Intf sg -> Some (path, sg) | _, Impl _ -> None)
+      units
+  in
+  let graph = Callgraph.build impls in
+  let ctors = harvest_protocol_ctors cfg impls in
+  let sites =
+    List.concat_map
+      (fun (path, ast) -> collect_sites_structure ~file:path ast)
+      impls
+    @ List.concat_map
+        (fun (path, sg) -> collect_sites_signature ~file:path sg)
+        intfs
+  in
+  let allow = cfg.allow in
+  List.iter (fun e -> e.ae_used <- false) allow;
+  let raw =
+    List.concat_map (lint_structure cfg ~ctors ~graph) impls
+    @ List.concat_map (lint_signature cfg ~graph) intfs
+  in
+  let filtered = apply_suppressions ~sites ~allow raw in
+  let stale =
+    apply_suppressions ~sites:[] ~allow (stale_findings cfg ~sites ~allow)
+  in
+  List.sort compare_findings (filtered @ stale)
+
+let active findings = List.filter (fun f -> f.suppressed = None) findings
+
+let lint_parsed cfg units = active (lint_parsed_all cfg units)
 
 exception Parse_error of string * string (* file, message *)
 
-let lint_files cfg paths =
-  let parsed =
-    List.map
-      (fun path ->
-        match parse_file path with
-        | ast -> (path, ast)
-        | exception exn ->
-            let msg =
-              match Location.error_of_exn exn with
-              | Some (`Ok report) ->
-                  Format.asprintf "%a" Location.print_report report
-              | _ -> Printexc.to_string exn
-            in
-            raise (Parse_error (path, msg)))
-      paths
-  in
-  lint_parsed cfg parsed
+let parse_files paths =
+  List.map
+    (fun path ->
+      match parse_file path with
+      | ast -> (path, ast)
+      | exception exn ->
+          let msg =
+            match Location.error_of_exn exn with
+            | Some (`Ok report) ->
+                Format.asprintf "%a" Location.print_report report
+            | _ -> Printexc.to_string exn
+          in
+          raise (Parse_error (path, msg)))
+    paths
 
-(* Recursively collect .ml files under [roots] (files are taken as-is),
-   sorted so the scan order — and therefore the report order — never
-   depends on directory enumeration. *)
+let lint_files_all cfg paths = lint_parsed_all cfg (parse_files paths)
+
+let lint_files cfg paths = active (lint_files_all cfg paths)
+
+(* The may-yield verdict for every known definition — the
+   [--dump-yields] debug surface. *)
+let dump_yields paths =
+  let units = parse_files paths in
+  let impls =
+    List.filter_map
+      (function path, Impl ast -> Some (path, ast) | _ -> None)
+      units
+  in
+  Callgraph.build impls
+
+(* Recursively collect .ml/.mli files under [roots] (files are taken
+   as-is), sorted so the scan order — and therefore the report order —
+   never depends on directory enumeration. *)
 let collect_ml_files roots =
   let rec walk acc path =
     if Sys.is_directory path then
       Sys.readdir path |> Array.to_list
       |> List.filter (fun name -> name <> "_build" && name.[0] <> '.')
       |> List.fold_left (fun acc name -> walk acc (Filename.concat path name)) acc
-    else if Filename.check_suffix path ".ml" then path :: acc
+    else if
+      Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+    then path :: acc
     else acc
   in
   List.fold_left walk [] roots |> List.sort_uniq compare
 
-(* [simlint.allow]: one [RULE-ID path-fragment] per line, [#] comments. *)
+(* [simlint.allow]: one [RULE-ID path-fragment  # justification] per
+   line; a [#] comment on an entry line is recorded as that entry's
+   justification. *)
 let load_allow_file path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let rec go acc =
+      let rec go lineno acc =
         match input_line ic with
         | exception End_of_file -> List.rev acc
         | line -> (
-            let line =
+            let body, comment =
               match String.index_opt line '#' with
-              | Some i -> String.sub line 0 i
-              | None -> line
+              | Some i ->
+                  ( String.sub line 0 i,
+                    String.trim
+                      (String.sub line (i + 1) (String.length line - i - 1)) )
+              | None -> (line, "")
             in
             match
-              String.split_on_char ' ' (String.trim line)
+              String.split_on_char ' ' (String.trim body)
               |> List.filter (fun s -> s <> "")
             with
-            | [] -> go acc
+            | [] -> go (lineno + 1) acc
             | [ rid; frag ] -> (
                 match rule_of_id rid with
-                | Some r -> go ((r, frag) :: acc)
+                | Some r ->
+                    go (lineno + 1)
+                      ({
+                         ae_rule = r;
+                         ae_frag = frag;
+                         ae_just = comment;
+                         ae_source = Some (path, lineno);
+                         ae_used = false;
+                       }
+                      :: acc)
                 | None ->
                     failwith
                       (Printf.sprintf "%s: unknown rule id %S" path rid))
@@ -676,4 +1464,48 @@ let load_allow_file path =
                      "%s: expected \"RULE-ID path-fragment\", got %S" path
                      line))
       in
-      go [])
+      go 1 [])
+
+(* {2 JSON findings output}
+
+   Machine-readable mirror of the text report, stable field order and
+   stable (file, line, col, rule) sort, so CI tooling can diff findings
+   between trees the way tools/perfdiff diffs perf snapshots.
+   Suppressed findings are included with their recorded justification —
+   the diffable artifact of every [@simlint.allow] in the tree. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render_json findings =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b "\n  ";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\
+            \"message\":\"%s\",\"suppressed\":%b,\"justification\":%s}"
+           (json_escape f.file) f.line f.col (rule_id f.rule)
+           (json_escape f.message)
+           (f.suppressed <> None)
+           (match f.suppressed with
+           | None -> "null"
+           | Some j -> "\"" ^ json_escape j ^ "\"")))
+    findings;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b

@@ -2,20 +2,29 @@
 
    Usage: dune exec tools/simlint/simlint.exe -- [options] lib/ bin/
 
-   Scans every .ml under the given roots, prints findings as
+   Scans every .ml/.mli under the given roots, prints findings as
    [file:line: [RULE-ID] message], and exits nonzero if any survive the
    suppressions ([@simlint.allow] attributes and the [simlint.allow]
-   file, picked up from the current directory by default). *)
+   file, picked up from the current directory by default).
+   [--json] emits the full machine-readable report instead — every
+   finding including suppressed ones with their justification, in
+   stable (file, line, col, rule) order.  [--dump-yields] prints the
+   may-yield verdict for every harvested definition and exits. *)
 
-let usage = "simlint [--rules D1,..] [--disable D1,..] [--allow-file F | --no-allow-file] PATH.."
+let usage =
+  "simlint [--rules D1,..] [--disable D1,..] [--allow-file F | \
+   --no-allow-file] [--json] [--dump-yields] PATH.."
 
 module Lint = Simlint_lib.Lint
+module Callgraph = Simlint_lib.Callgraph
 
 let () =
   let roots = ref [] in
   let only = ref None in
   let disabled = ref [] in
   let allow_file = ref (Some "simlint.allow") in
+  let json = ref false in
+  let dump_yields = ref false in
   let parse_rule_list s =
     String.split_on_char ',' s
     |> List.map (fun tok ->
@@ -39,6 +48,12 @@ let () =
       ( "--no-allow-file",
         Arg.Unit (fun () -> allow_file := None),
         " ignore any simlint.allow file" );
+      ( "--json",
+        Arg.Set json,
+        " emit all findings (suppressed included) as JSON on stdout" );
+      ( "--dump-yields",
+        Arg.Set dump_yields,
+        " print the may-yield verdict per harvested definition and exit" );
     ]
   in
   Arg.parse spec (fun p -> roots := p :: !roots) usage;
@@ -57,17 +72,40 @@ let () =
   in
   let cfg = { Lint.default_config with rules; allow } in
   let files = Lint.collect_ml_files (List.rev !roots) in
-  match Lint.lint_files cfg files with
-  | [] ->
-      Printf.printf "simlint: %d files clean (%s)\n" (List.length files)
-        (String.concat "," (List.map Lint.rule_id rules))
-  | findings ->
-      List.iter
-        (fun f -> Format.printf "%a@." Lint.pp_finding f)
-        findings;
-      Printf.eprintf "simlint: %d finding(s) in %d files\n"
-        (List.length findings) (List.length files);
-      exit 1
-  | exception Lint.Parse_error (file, msg) ->
-      Printf.eprintf "simlint: %s: parse error\n%s\n" file msg;
-      exit 2
+  if !dump_yields then begin
+    match Lint.dump_yields files with
+    | graph ->
+        List.iter
+          (fun (name, yields) ->
+            Printf.printf "%-50s %s\n" name (if yields then "yields" else "-"))
+          (Callgraph.dump graph);
+        Printf.printf
+          "simlint: %d definitions in %d modules (%d may-yield)\n"
+          (Callgraph.def_count graph)
+          (Callgraph.module_count graph)
+          (List.length
+             (List.filter (fun (_, y) -> y) (Callgraph.dump graph)))
+    | exception Lint.Parse_error (file, msg) ->
+        Printf.eprintf "simlint: %s: parse error\n%s\n" file msg;
+        exit 2
+  end
+  else
+    match Lint.lint_files_all cfg files with
+    | all ->
+        let active = List.filter (fun f -> f.Lint.suppressed = None) all in
+        if !json then print_string (Lint.render_json all)
+        else begin
+          List.iter (fun f -> Format.printf "%a@." Lint.pp_finding f) active;
+          if active = [] then
+            Printf.printf "simlint: %d files clean, %d suppression(s) (%s)\n"
+              (List.length files)
+              (List.length all - List.length active)
+              (String.concat "," (List.map Lint.rule_id rules))
+          else
+            Printf.eprintf "simlint: %d finding(s) in %d files\n"
+              (List.length active) (List.length files)
+        end;
+        if active <> [] then exit 1
+    | exception Lint.Parse_error (file, msg) ->
+        Printf.eprintf "simlint: %s: parse error\n%s\n" file msg;
+        exit 2
