@@ -87,7 +87,42 @@ let algorithms =
     };
   ]
 
-let find_algorithm name = List.find_opt (fun a -> a.name = name) algorithms
+(* "smr" is engine-parametric (--engine), so it is not a closed [exec]
+   in the list above; [find_algorithm] builds it per engine choice. *)
+let smr_descr =
+  "replicated log over a pluggable consensus engine (--engine, see \
+   list-engines)"
+
+let engine_names = Rdma_smr.Engines.names
+
+let engine_arg =
+  let doc =
+    "SMR consensus engine: "
+    ^ String.concat ", "
+        (List.map
+           (fun (module E : Rdma_smr.Consensus_engine.S) ->
+             Printf.sprintf "$(b,%s) (%s)" E.name E.descr)
+           Rdma_smr.Engines.all)
+    ^ "."
+  in
+  Arg.(value
+      & opt (enum (List.map (fun n -> (n, n)) engine_names)) "pmp"
+      & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let find_algorithm ~engine name =
+  if name = "smr" then
+    Some
+      {
+        name = "smr";
+        descr = smr_descr;
+        needs_memories = true;
+        exec =
+          (fun ~seed ~n ~m ~inputs ~faults ~prepare ->
+            Rdma_smr.Harness.run
+              ~engine:(Rdma_smr.Engines.get engine)
+              ~seed ~n ~m ~inputs ~faults ~prepare ());
+      }
+  else List.find_opt (fun a -> a.name = name) algorithms
 
 (* "pid@time" *)
 let event_conv =
@@ -230,10 +265,10 @@ let run_cmd =
     in
     Arg.(value & opt (some string) None & info [ "flame-out" ] ~docv:"FILE" ~doc)
   in
-  let action name n m seed inputs crash_procs crash_mems recover_mems
+  let action name engine n m seed inputs crash_procs crash_mems recover_mems
       restart_machines leaders gst ordering trace trace_out metrics_out
       perf_out flame_out =
-    match find_algorithm name with
+    match find_algorithm ~engine name with
     | None ->
         Fmt.epr "unknown algorithm %s; try the list command@." name;
         exit 1
@@ -296,7 +331,10 @@ let run_cmd =
             | None -> Fmt.pr "  p%-2d (no decision)@." pid)
           report.Report.decisions;
         Fmt.pr "@.agreement : %b@." (Report.agreement_ok report);
-        Fmt.pr "validity  : %b@." (Report.validity_ok report ~inputs);
+        (* SMR decisions are joined logs, not one of the proposed values,
+           so single-value validity does not apply. *)
+        if name = "smr" then Fmt.pr "validity  : n/a (replicated log)@."
+        else Fmt.pr "validity  : %b@." (Report.validity_ok report ~inputs);
         (match Report.first_decision_time report with
         | Some t -> Fmt.pr "first decision: %.1f delays@." t
         | None -> Fmt.pr "first decision: -@.");
@@ -352,9 +390,9 @@ let run_cmd =
   let doc = "Run one consensus instance under a fault schedule." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const action $ algo $ n $ m $ seed $ inputs $ crash_procs $ crash_mems
-      $ recover_mems $ restart_machines $ leaders $ gst $ ordering_arg $ trace
-      $ trace_out $ metrics_out $ perf_out $ flame_out)
+      const action $ algo $ engine_arg $ n $ m $ seed $ inputs $ crash_procs
+      $ crash_mems $ recover_mems $ restart_machines $ leaders $ gst
+      $ ordering_arg $ trace $ trace_out $ metrics_out $ perf_out $ flame_out)
 
 let fuzz_cmd =
   let algo =
@@ -368,7 +406,13 @@ let fuzz_cmd =
   let n = Arg.(value & opt int 3 & info [ "n"; "processes" ] ~doc:"Processes.") in
   let m = Arg.(value & opt int 3 & info [ "m"; "memories" ] ~doc:"Memories.") in
   let action name runs n m =
-    match find_algorithm name with
+    if name = "smr" then begin
+      Fmt.epr
+        "smr is exercised by the chaos scenarios (chaos explore \
+         smr-ENGINE-recovery), not fuzz@.";
+      exit 1
+    end;
+    match find_algorithm ~engine:"pmp" name with
     | None ->
         Fmt.epr "unknown algorithm %s; try the list command@." name;
         exit 1
@@ -492,10 +536,23 @@ let validate_trace_cmd =
 let list_cmd =
   let action () =
     Fmt.pr "available algorithms:@.";
-    List.iter (fun a -> Fmt.pr "  %-16s %s@." a.name a.descr) algorithms
+    List.iter (fun a -> Fmt.pr "  %-16s %s@." a.name a.descr) algorithms;
+    Fmt.pr "  %-16s %s@." "smr" smr_descr
   in
   let doc = "List the available algorithms." in
   Cmd.v (Cmd.info "list" ~doc) Term.(const action $ const ())
+
+let list_engines_cmd =
+  let action () =
+    Fmt.pr "available SMR engines (run smr --engine E, chaos explore \
+            smr-E-recovery):@.";
+    List.iter
+      (fun (module E : Rdma_smr.Consensus_engine.S) ->
+        Fmt.pr "  %-8s %s@." E.name E.descr)
+      Rdma_smr.Engines.all
+  in
+  let doc = "List the pluggable SMR consensus engines." in
+  Cmd.v (Cmd.info "list-engines" ~doc) Term.(const action $ const ())
 
 (* --- chaos: deterministic fault exploration ------------------------- *)
 
@@ -507,8 +564,16 @@ let chaos_scenario_pos =
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO" ~doc)
 
-let find_scenario name =
-  match Rdma_chaos.Scenario.find name with
+let find_scenario ?engine name =
+  (* With --engine E, an engine-generic name like "smr-recovery" resolves
+     to the per-engine registration "smr-E-recovery" first. *)
+  let candidates =
+    match engine with
+    | Some e when String.length name >= 4 && String.sub name 0 4 = "smr-" ->
+        [ "smr-" ^ e ^ "-" ^ String.sub name 4 (String.length name - 4); name ]
+    | _ -> [ name ]
+  in
+  match List.find_map Rdma_chaos.Scenario.find candidates with
   | Some s -> s
   | None ->
       Fmt.epr "unknown chaos scenario %s; known: %s@." name
@@ -574,9 +639,10 @@ let chaos_explore_cmd =
         & info [ "metrics-out" ] ~docv:"FILE"
             ~doc:"Write the batch's merged metrics snapshot to $(docv).")
   in
-  let action name runs seed adversary byzantine over_budget out expect_violations
-      jobs metrics_out ordering =
-    let scenario = find_scenario name in
+  let action name engine runs seed adversary byzantine over_budget
+      out expect_violations jobs metrics_out ordering =
+    let scenario = find_scenario ?engine name in
+    let name = scenario.Scenario.name in
     let options =
       {
         Explore.default_options with
@@ -620,11 +686,20 @@ let chaos_explore_cmd =
     end
     else if failed > 0 then exit 1
   in
+  let engine =
+    let doc =
+      "Resolve an engine-generic scenario name (e.g. $(b,smr-recovery)) \
+       against this SMR engine's registration."
+    in
+    Arg.(value
+        & opt (some (enum (List.map (fun n -> (n, n)) engine_names))) None
+        & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
   let doc = "Explore seeded random fault schedules against an algorithm." in
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
-      const action $ chaos_scenario_pos $ runs $ seed $ adversary $ byzantine
-      $ over_budget $ out $ expect_violations $ jobs $ metrics_out
+      const action $ chaos_scenario_pos $ engine $ runs $ seed $ adversary
+      $ byzantine $ over_budget $ out $ expect_violations $ jobs $ metrics_out
       $ ordering_arg)
 
 let chaos_replay_cmd =
@@ -661,4 +736,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; fuzz_cmd; chaos_cmd; log_cmd; validate_trace_cmd; list_cmd ]))
+          [
+            run_cmd;
+            fuzz_cmd;
+            chaos_cmd;
+            log_cmd;
+            validate_trace_cmd;
+            list_cmd;
+            list_engines_cmd;
+          ]))

@@ -264,6 +264,86 @@ let all =
       exec = Workloads.pmp_multi_recovery;
     };
   ]
+  (* One recovery scenario per registered consensus engine
+     (smr-pmp-recovery, smr-velos-recovery, ...): the SAME workload,
+     budget and oracle for every engine — the head-to-head the refactor
+     exists for.  [n] counts only the replicas: the workload's client
+     drivers live above it, out of the fault generator's reach. *)
+  @ List.map
+      (fun ((module E : Rdma_smr.Consensus_engine.S) as engine) ->
+        {
+          name = Printf.sprintf "smr-%s-recovery" E.name;
+          descr =
+            Printf.sprintf
+              "engine-agnostic SMR on %s: crashes, rejoins, partitions, \
+               real-time reads"
+              E.name;
+          n = Workloads.smr_n;
+          m = Workloads.smr_m;
+          budget =
+            {
+              base_budget with
+              max_process_crashes = 1;
+              (* one memory outage at a time, as in pmp-multi-recovery:
+                 a second concurrent outage removes the write quorum *)
+              max_memory_crashes = 1;
+              max_machine_crashes = 1;
+              max_recoveries = 2;
+            };
+          phases = [];
+          attack_pool = [];
+          max_byz = 0;
+          deadline = Workloads.smr_deadline;
+          repair = Some (Workloads.smr_stale engine);
+          (* decisions are joined logs, not a literal input *)
+          validity = false;
+          exec = Workloads.smr_recovery engine ~lease_violation:false;
+        })
+      Rdma_smr.Engines.all
+  @ [
+      {
+        (* The deliberately broken fixture: a velos leader that keeps
+           serving local reads after deposition.  A forced leader change
+           mid-workload guarantees the stale window on every seed; the
+           clients' real-time watermark check must turn it into an
+           Agreement violation — this scenario is run with
+           --expect-violations in CI. *)
+        name = "velos-stale-lease";
+        descr =
+          "BROKEN BY DESIGN: velos leader ignores lease expiry; the \
+           oracle must catch the stale reads";
+        n = Workloads.smr_n;
+        m = Workloads.smr_m;
+        budget =
+          {
+            base_budget with
+            (* no random faults: the violation comes from the fixture's
+               own forced flap, so every seed is a clean repro *)
+            max_process_crashes = 0;
+            max_memory_crashes = 0;
+            max_machine_crashes = 0;
+            max_leader_flaps = 0;
+            allow_partition = false;
+            allow_latency = false;
+            max_gst = 0.0;
+            max_faults = 1;
+            max_recoveries = 0;
+          };
+        phases = [];
+        attack_pool = [];
+        max_byz = 0;
+        deadline = Workloads.smr_deadline;
+        repair = None;
+        validity = false;
+        exec =
+          (fun ~seed ~inputs ~faults ~byzantine ~prepare ->
+            Workloads.smr_recovery
+              (module Rdma_smr.Velos_engine)
+              ~lease_violation:true ~seed ~inputs
+              ~faults:(Fault.Set_leader { pid = 1; at = 30.0 } :: faults)
+              ~byzantine ~prepare);
+      };
+    ]
 
 let find name = List.find_opt (fun s -> s.name = name) all
 

@@ -149,3 +149,135 @@ let pmp_multi_recovery ~seed ~inputs:_ ~faults ~byzantine ~prepare =
     Report.algorithm = "pmp-multi-recovery";
     decisions;
   }
+
+(* ---------- engine-agnostic SMR under the full recovery nemesis ----- *)
+
+(* One workload, every consensus engine: 3 replicas serve a replicated
+   log through the shared {!Rdma_smr.Consensus_engine} interface while 2
+   client processes (spawned beyond the nemesis-facing [smr_n], so the
+   fault generator never targets them) submit commands and issue
+   linearizable reads.  Clients enforce the real-time read invariant
+   with a shared watermark: a read must never return less than the
+   highest index any client saw acknowledged (or read) before the read
+   was SENT.  A violation becomes that client's decision, which the
+   agreement oracle then flags against the replicas' joined logs — this
+   is exactly how the deliberately stale-lease velos fixture is caught.
+
+   Replicas decide the joined applied log at a fixed virtual time well
+   after the workload quiesces (both engines' catch-up paths — pmp
+   snapshot anti-entropy, velos memory polling — have healed by then);
+   clients that never witnessed a violation are retired (crashed) before
+   the decision point so the liveness watchdog exempts them. *)
+
+let smr_n = 3
+
+let smr_m = 3
+
+let smr_clients = 2
+
+let smr_t_stop = 120.0 (* clients stop issuing new operations *)
+
+let smr_t_retire = 140.0 (* violation-free clients are retired *)
+
+let smr_t_decide = 260.0 (* replicas decide their joined logs *)
+
+let smr_deadline = 400.0 (* oracle watchdog *)
+
+let smr_cfg ~lease_violation =
+  {
+    Rdma_smr.Consensus_engine.default_config with
+    replicas = smr_n;
+    max_entries = 48;
+    serve_until = 300.0;
+    checkpoint_every = 5;
+    (* pmp: snapshot anti-entropy cadence; velos: the poll interval *)
+    anti_entropy_every = 10.0;
+    (* velos serves leased reads with 0 memory ops; pmp ignores it *)
+    lease_duration = 20.0;
+    lease_violation;
+  }
+
+let smr_stale (module E : Rdma_smr.Consensus_engine.S) cluster mid =
+  match Memory.stale_registers (Cluster.memory cluster mid) ~region:E.region with
+  | [] -> None
+  | regs -> Some (Printf.sprintf "stale: %s" (String.concat "," regs))
+
+let smr_recovery (module E : Rdma_smr.Consensus_engine.S) ~lease_violation
+    ~seed ~inputs:_ ~faults ~byzantine ~prepare =
+  assert (byzantine = []);
+  let cfg = smr_cfg ~lease_violation in
+  let n = smr_n + smr_clients in
+  let m = smr_m in
+  let cluster : string Cluster.t =
+    Cluster.create ~seed ~legal_change:(E.legal_change cfg) ~n ~m ()
+  in
+  E.setup_regions cluster cfg;
+  let engine = Cluster.engine cluster in
+  let decisions : Report.decision option array = Array.make n None in
+  let decide ~pid value =
+    decisions.(pid) <- Some { Report.value; at = Engine.now engine };
+    Obs.event (Cluster.obs cluster)
+      ~actor:(Printf.sprintf "p%d" pid)
+      (Event.Decide { pid; value })
+  in
+  (* Replicas + their decision watchdogs.  The replica handle survives
+     process restarts (the engine program re-catches-up), so reading the
+     applied log at decide time is always current. *)
+  let replicas =
+    Array.init smr_n (fun pid -> E.spawn_replica cluster ~cfg ~pid ())
+  in
+  Array.iteri
+    (fun pid r ->
+      Engine.schedule engine smr_t_decide (fun () ->
+          if not (Cluster.is_crashed cluster pid) then
+            decide ~pid
+              (String.concat ";" (List.map snd (E.applied_entries r)))))
+    replicas;
+  (* Clients: interleave submits and linearizable reads, checking the
+     shared real-time watermark.  [ops] seeds differ per client; read
+     seqs live in a disjoint space from submit seqs. *)
+  let watermark = ref 0 in
+  for c = 0 to smr_clients - 1 do
+    let pid = smr_n + c in
+    Cluster.spawn cluster ~pid (fun ctx ->
+        let stale = ref None in
+        let seq = ref 0 in
+        while
+          !stale = None
+          && Engine.now ctx.Cluster.ctx_engine < smr_t_stop
+        do
+          let cmd = Printf.sprintf "c%d.%d" pid !seq in
+          (match E.submit ctx ~cfg ~seq:!seq ~cmd ~timeout:30.0 with
+          | Some index -> watermark := max !watermark index
+          | None -> ());
+          let w0 = !watermark in
+          (match E.linearizable_read ctx ~cfg ~seq:(1000 + !seq) ~timeout:30.0 with
+          | Some up_to ->
+              if up_to < w0 then
+                stale :=
+                  Some
+                    (Printf.sprintf "stale-read: saw %d after %d was acked" up_to
+                       w0)
+              else watermark := max !watermark up_to
+          | None -> ());
+          incr seq
+        done;
+        match !stale with Some v -> decide ~pid:ctx.Cluster.pid v | None -> ());
+    (* Retire the client before the decision point: crashed pids are
+       exempt from the liveness watchdog, and a retired client that DID
+       decide (a violation) still counts for agreement. *)
+    Engine.schedule engine smr_t_retire (fun () ->
+        if not (Cluster.is_crashed cluster pid) then
+          Cluster.crash_process cluster pid)
+  done;
+  prepare cluster;
+  Fault.apply cluster faults;
+  Cluster.run cluster;
+  Cluster.check_errors cluster;
+  Report.of_stats
+    ~algorithm:(Printf.sprintf "smr-%s-recovery" E.name)
+    ~n ~m ~decisions
+    ~obs:(Cluster.obs cluster)
+    ~stats:(Cluster.stats cluster)
+    ~steps:(Engine.steps engine)
+    ()

@@ -36,3 +36,29 @@ val pmp_multi_recovery :
   byzantine:(int * (string Cluster.ctx -> unit)) list ->
   prepare:(string Cluster.t -> unit) ->
   Report.t
+
+val smr_n : int
+
+val smr_m : int
+
+(** [Some detail] iff memory [mid] still has stale registers in the
+    given engine's region. *)
+val smr_stale :
+  Rdma_smr.Consensus_engine.engine -> string Cluster.t -> int -> string option
+
+(** Engine-agnostic SMR recovery workload: replicated log under the
+    crash/recovery/partition/weak-ordering nemesis, with client-side
+    real-time read checking (a stale read becomes a decision the
+    agreement oracle flags).  [lease_violation] arms the deliberately
+    broken velos stale-lease fixture. *)
+val smr_deadline : float
+
+val smr_recovery :
+  Rdma_smr.Consensus_engine.engine ->
+  lease_violation:bool ->
+  seed:int ->
+  inputs:string array ->
+  faults:Fault.t list ->
+  byzantine:(int * (string Cluster.ctx -> unit)) list ->
+  prepare:(string Cluster.t -> unit) ->
+  Report.t

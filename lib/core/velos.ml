@@ -1,0 +1,942 @@
+(* Velos-style one-sided Paxos (cf. "Velos: One-sided Paxos for RDMA
+   applications", arXiv:2106.08676) — the opposite corner of the design
+   space from the Protected Memory Paxos log in lib/smr:
+
+   - Replicas are PASSIVE: followers never receive a Commit message.
+     The leader replicates by one-sided writes into a region on every
+     memory; followers learn committed entries by polling a QUORUM of
+     memories and trusting the commit watermark (below).
+
+   - An append is ONE batched write per memory carrying the new entry
+     AND the watermark covering the previous one, so in steady state
+     commitment costs the same two delays as PMP but followers need no
+     network traffic at all to stay current.
+
+   - Failover swaps the exclusive write permission (the paper's
+     permission discipline, reused as Velos's "ownership change") and
+     reconstructs the leader state entirely from replica memory.
+
+   - Leader LEASES on virtual time: a leader holding a quorum-acked
+     lease serves linearizable reads from local state with ZERO memory
+     operations (asserted via the [mem.ops.issued] perf counter).  A
+     new leader waits out the maximum lease expiry it read before
+     serving anything, so a deposed-but-leased leader can never answer
+     a read that misses a newer committed write.
+
+   Commit watermark safety.  The leader only publishes [commit = w]
+   after entry w was all-acked by a write quorum, and a fence is issued
+   to every memory between consecutive batches.  Hence per memory: if
+   [commit = w] (written by leader L) is APPLIED there, every one of
+   L's entry writes 1..w is applied there too — under Strict trivially
+   (QP FIFO), under Completion_lag/Reorder_qp because the fence is an
+   ordering barrier in the QP stream whether or not anyone awaits it.
+   A follower therefore adopts the reply with the HIGHEST watermark and
+   applies that same reply's entries up to it; committed slots carry
+   the same command in every term (recovery adopts the committed
+   prefix), so the stored values are safe regardless of which leader's
+   rewrite is visible.
+
+   Lease safety on virtual time.  There is one global virtual clock, so
+   "holder's expiry" and "successor's wait" are the same timeline — the
+   skew term of the real-world argument vanishes.  A lease counts only
+   once its write is all-acked by a quorum; its stored expiry equals
+   the holder's local [leased_until]; a successor's recovery starts by
+   swapping permissions, which drains in-flight writes at each memory
+   before its reads, so the successor's quorum read intersects every
+   lease quorum and the max expiry it sees bounds every valid lease. *)
+
+open Rdma_sim
+open Rdma_mem
+open Rdma_net
+open Rdma_mm
+open Rdma_obs
+
+let region = "velos"
+
+let entry_reg i = Printf.sprintf "e.%d" i
+
+(* The commit watermark: highest index the current leader has seen
+   all-acked by a write quorum.  Monotone per reign; across reigns a
+   new leader republishes [max] of what it read (see recovery). *)
+let commit_reg = "commit"
+
+(* The checkpoint register — same contract as the PMP log: written only
+   after the covered entries committed, so adopting the max seen from
+   any single replica is safe, and the log below it may be truncated. *)
+let ckpt_reg = "ckpt"
+
+(* The lease register: [term] and the virtual-time expiry the holder
+   promised itself.  Doubles as the permission-protected reign proof
+   for quorum reads and state transfers (a nak = deposed). *)
+let lease_reg = "lease"
+
+type config = {
+  replicas : int; (* replicas are processes 0 .. replicas-1 *)
+  max_entries : int;
+  f_m : int option;
+  max_terms : int;
+  serve_until : float;
+  checkpoint_every : int; (* 0 disables checkpointing *)
+  poll_every : float; (* follower poll interval (passive learning) *)
+  lease_duration : float;
+      (* > 0.: reads under a valid quorum-acked lease cost 0 memory
+         ops; 0. disables leases — every read pays a quorum round *)
+  lease_violation : bool;
+      (* TEST FIXTURE ONLY: keep serving local reads after deposition —
+         the stale-lease bug the chaos oracle must catch *)
+}
+
+let default_config =
+  {
+    replicas = 3;
+    max_entries = 64;
+    f_m = None;
+    max_terms = 32;
+    serve_until = 2000.0;
+    checkpoint_every = 0;
+    poll_every = 5.0;
+    lease_duration = 0.0;
+    lease_violation = false;
+  }
+
+(* {2 Codecs} *)
+
+let encode_entry ~term ~cmd = Codec.join2 (Codec.int_field term) cmd
+
+let decode_entry s =
+  match Codec.split2 s with
+  | None -> None
+  | Some (tf, cmd) -> Option.map (fun term -> (term, cmd)) (Codec.int_of_field tf)
+
+let encode_cmd_meta ~client ~seq ~cmd =
+  Codec.join3 (Codec.int_field client) (Codec.int_field seq) cmd
+
+let decode_cmd_meta s =
+  match Codec.split3 s with
+  | None -> None
+  | Some (cf, qf, cmd) -> (
+      match (Codec.int_of_field cf, Codec.int_of_field qf) with
+      | Some client, Some seq -> Some (client, seq, cmd)
+      | _ -> None)
+
+let encode_ckpt ~up_to ~entries = Codec.join (Codec.int_field up_to :: entries)
+
+let decode_ckpt s =
+  match Codec.split s with
+  | up :: entries ->
+      Option.map (fun up_to -> (up_to, entries)) (Codec.int_of_field up)
+  | [] -> None
+
+(* Virtual times are floats; "%h" is exact and round-trips. *)
+let float_field f = Printf.sprintf "%h" f
+
+let float_of_field s = float_of_string_opt s
+
+let encode_lease ~term ~until = Codec.join2 (Codec.int_field term) (float_field until)
+
+let decode_lease s =
+  match Codec.split2 s with
+  | None -> None
+  | Some (tf, uf) -> (
+      match (Codec.int_of_field tf, float_of_field uf) with
+      | Some term, Some until -> Some (term, until)
+      | _ -> None)
+
+(* Client messages only — there is no replica-to-replica traffic at all
+   (followers learn from memory, not from the leader). *)
+type msg =
+  | Request of { client : int; seq : int; cmd : string }
+  | Ack of { client : int; seq : int; index : int }
+  | Read_request of { client : int; seq : int }
+  | Read_reply of { client : int; seq : int; up_to : int }
+
+let encode_msg = function
+  | Request { client; seq; cmd } ->
+      Codec.join [ "req"; Codec.int_field client; Codec.int_field seq; cmd ]
+  | Ack { client; seq; index } ->
+      Codec.join
+        [ "ack"; Codec.int_field client; Codec.int_field seq; Codec.int_field index ]
+  | Read_request { client; seq } ->
+      Codec.join [ "rdq"; Codec.int_field client; Codec.int_field seq ]
+  | Read_reply { client; seq; up_to } ->
+      Codec.join
+        [ "rdr"; Codec.int_field client; Codec.int_field seq; Codec.int_field up_to ]
+
+let decode_msg s =
+  match Codec.split s with
+  | [ "req"; c; q; cmd ] -> (
+      match (Codec.int_of_field c, Codec.int_of_field q) with
+      | Some client, Some seq -> Some (Request { client; seq; cmd })
+      | _ -> None)
+  | [ "ack"; c; q; i ] -> (
+      match (Codec.int_of_field c, Codec.int_of_field q, Codec.int_of_field i) with
+      | Some client, Some seq, Some index -> Some (Ack { client; seq; index })
+      | _ -> None)
+  | [ "rdq"; c; q ] -> (
+      match (Codec.int_of_field c, Codec.int_of_field q) with
+      | Some client, Some seq -> Some (Read_request { client; seq })
+      | _ -> None)
+  | [ "rdr"; c; q; u ] -> (
+      match (Codec.int_of_field c, Codec.int_of_field q, Codec.int_of_field u) with
+      | Some client, Some seq, Some up_to ->
+          Some (Read_reply { client; seq; up_to })
+      | _ -> None)
+  | _ -> None
+
+let legal_change cfg : Permission.legal_change =
+ fun ~pid ~region:r ~current:_ ~requested ->
+  r = region && pid < cfg.replicas && Permission.sole_writer requested = Some pid
+
+let setup_regions cluster cfg =
+  let n = Cluster.n cluster in
+  Cluster.add_region_everywhere cluster ~name:region
+    ~perm:(Permission.exclusive_writer ~writer:0 ~n)
+    ~registers:
+      (ckpt_reg :: commit_reg :: lease_reg
+      :: List.init cfg.max_entries (fun i -> entry_reg (i + 1)))
+
+type replica = {
+  pid : int;
+  cfg : config;
+  applied : (int * string) Queue.t; (* (index, cmd) in application order *)
+  mutable applied_up_to : int;
+  mutable current_term : int;
+  mutable stopped : bool;
+  mutable subscribed : bool; (* telemetry subscription installed once *)
+  mutable zombie : bool; (* lease_violation: stale server already spawned *)
+  requests : (int * int * string) Mailbox.t; (* client, seq, cmd *)
+  reads : (int * int) Mailbox.t; (* client, seq *)
+  rejoin : int Mailbox.t; (* restarted memories awaiting state transfer *)
+  mutable commit_subs : (index:int -> cmd:string -> unit) list;
+  mutable recover_subs : (term:int -> unit) list;
+}
+
+let applied_entries r =
+  Queue.fold (fun acc e -> e :: acc) [] r.applied |> List.rev
+
+let applied_count r = r.applied_up_to
+
+let current_term r = r.current_term
+
+let on_commit r f = r.commit_subs <- f :: r.commit_subs
+
+let on_recover r f = r.recover_subs <- f :: r.recover_subs
+
+let apply_entry r ~index ~cmd =
+  if index = r.applied_up_to + 1 then begin
+    Queue.push (index, cmd) r.applied;
+    r.applied_up_to <- index;
+    List.iter (fun f -> f ~index ~cmd) r.commit_subs
+  end
+
+let quorum_of (ctx : _ Cluster.ctx) cfg =
+  let m = ctx.Cluster.cluster_m in
+  let f_m = match cfg.f_m with Some f -> f | None -> (m - 1) / 2 in
+  m - f_m
+
+(* Apply a stored entry string (committed, so metadata is trusted). *)
+let apply_stored r ~index stored =
+  let cmd =
+    match decode_cmd_meta stored with Some (_, _, cmd) -> cmd | None -> stored
+  in
+  apply_entry r ~index ~cmd
+
+(* {2 The passive learner}
+
+   Every replica polls a quorum of memories for the checkpoint, the
+   commit watermark and a window of entries above its applied index.
+   It adopts the reply carrying the HIGHEST watermark: by the fence
+   discipline (header comment) that same memory has applied every
+   committed entry the watermark covers, so no cross-reply merge is
+   needed — one-sided learning from a single coherent snapshot. *)
+let poll_window = 8
+
+let poll_once (ctx : _ Cluster.ctx) r =
+  let cfg = r.cfg in
+  let quorum = quorum_of ctx cfg in
+  let base = r.applied_up_to in
+  let width = min poll_window (cfg.max_entries - base) in
+  let regs =
+    ckpt_reg :: commit_reg
+    :: List.init width (fun i -> entry_reg (base + i + 1))
+  in
+  let client = ctx.Cluster.client in
+  let reads =
+    Array.init ctx.Cluster.cluster_m (fun i ->
+        Memory.read_many_async (Memclient.mem client i) ~from:r.pid ~region ~regs)
+  in
+  let completed = Par.await_k_timeout reads quorum (2.0 *. cfg.poll_every) in
+  let ok =
+    List.filter_map
+      (fun (i, v) ->
+        match v with
+        | Memory.Read_many values -> Some (i, values)
+        | Memory.Read_many_nak -> None)
+      completed
+  in
+  (* A nak'd chain (restarted memory) does not count towards the read
+     quorum: the watermark argument needs a true quorum so it is
+     guaranteed to intersect every write quorum. *)
+  if List.length ok >= quorum then begin
+    let watermark values =
+      match Array.length values with
+      | 0 | 1 -> 0
+      | _ -> (
+          match Option.bind values.(1) Codec.int_of_field with
+          | Some w -> w
+          | None -> 0)
+    in
+    (* Deterministic best pick: highest watermark, lowest memory id. *)
+    let best =
+      List.fold_left
+        (fun acc (i, values) ->
+          let w = watermark values in
+          match acc with
+          | Some (_, bw, bi) when bw > w || (bw = w && bi < i) -> acc
+          | _ -> Some (values, w, i))
+        None ok
+    in
+    match best with
+    | None -> ()
+    | Some (values, w, _) ->
+        (* Checkpoint first: it may cover truncated entries below the
+           window. *)
+        (match Option.bind values.(0) decode_ckpt with
+        | Some (up_to, entries) when up_to > r.applied_up_to ->
+            List.iteri
+              (fun i stored ->
+                let index = i + 1 in
+                if index > r.applied_up_to && index <= up_to then
+                  apply_stored r ~index stored)
+              entries
+        | _ -> ());
+        (* Then the window from the same reply, up to its watermark. *)
+        for j = 2 to Array.length values - 1 do
+          let index = base + j - 1 in
+          if index <= w && index = r.applied_up_to + 1 then
+            match Option.bind values.(j) decode_entry with
+            | Some (_, stored) -> apply_stored r ~index stored
+            | None -> ()
+        done
+  end
+
+let poll_loop (ctx : _ Cluster.ctx) r =
+  while
+    (not r.stopped) && Engine.now ctx.Cluster.ctx_engine < r.cfg.serve_until
+  do
+    Engine.sleep r.cfg.poll_every;
+    (* The leader is the writer: it learns at append time and must not
+       race its own in-flight rewrites with reads. *)
+    if
+      (not r.stopped)
+      && Omega.leader ctx.Cluster.ctx_omega <> r.pid
+      && Engine.now ctx.Cluster.ctx_engine < r.cfg.serve_until
+    then poll_once ctx r
+  done
+
+(* {2 Leader side} *)
+
+(* State transfer to a restarted memory — the PMP repair discipline on
+   the velos region: permission-grab, then one batched write of the
+   leader's full view (checkpoint, watermark, lease, entries), masked
+   to registers still stale since the restart. *)
+let spawn_repair (ctx : _ Cluster.ctx) r ~term ~until ~up_to ~entries ~tail
+    ~committed mid =
+  ctx.Cluster.spawn_sub
+    (Printf.sprintf "velos.repair%d" mid)
+    (fun () ->
+      let client = ctx.Cluster.client in
+      let n = ctx.Cluster.cluster_n in
+      let (_ : Memory.op_result) =
+        Memclient.change_permission client ~mem:mid ~region
+          ~perm:(Permission.exclusive_writer ~writer:r.pid ~n)
+      in
+      let tail_tbl = Hashtbl.create 16 in
+      List.iter (fun (i, stored) -> Hashtbl.replace tail_tbl i stored) tail;
+      let slot i =
+        ( entry_reg i,
+          if i <= up_to then None
+          else
+            Option.map
+              (fun stored -> encode_entry ~term ~cmd:stored)
+              (Hashtbl.find_opt tail_tbl i) )
+      in
+      let values =
+        (ckpt_reg, if up_to = 0 then None else Some (encode_ckpt ~up_to ~entries))
+        :: (commit_reg, Some (Codec.int_field committed))
+        :: (lease_reg, Some (encode_lease ~term ~until))
+        :: List.init r.cfg.max_entries (fun i -> slot (i + 1))
+      in
+      let stale = Memory.stale_registers (Memclient.mem client mid) ~region in
+      let values = List.filter (fun (reg, _) -> List.mem reg stale) values in
+      if values <> [] then
+        match Memclient.write_many client ~mem:mid ~region ~values with
+        | Memory.Ack ->
+            Stats.bump ctx.Cluster.ctx_stats "velos.repairs";
+            Obs.event ctx.Cluster.ctx_obs ~actor:(Printf.sprintf "p%d" r.pid)
+              (Event.Custom
+                 { name = "velos.repair"; detail = Printf.sprintf "mu%d" mid })
+        | Memory.Nak -> ())
+[@@simlint.allow
+  "F1 repair bookkeeping: the Ack branch only counts the repair in \
+   telemetry; the transferred state is validated by the next leader \
+   recovery's reads, which run under a fresh permission grab that \
+   drains this write"]
+
+(* All-ack of a quorum of completions — the velos commit predicate for
+   one-sided writes.  Branching on completion (rather than application)
+   is safe here for the same structural reason as in the PMP log: a
+   successor's recovery begins with a permission swap on every memory,
+   which drains acked-but-unapplied writes before its reads.  The F1
+   suppressions live at the call sites that branch on this result. *)
+let all_acked writes quorum =
+  let completed = Par.await_k writes quorum in
+  List.for_all (fun (_, w) -> w = Memory.Ack) completed
+
+(* Leader recovery: swap permissions everywhere, read a quorum of full
+   region replicas, adopt max checkpoint + max watermark + max-term
+   values per slot, rewrite the dense prefix under our own term,
+   republish the watermark, and wait out the maximum lease expiry seen
+   before serving ANYTHING (reads or appends).  Returns the adopted
+   prefix (stored strings) and checkpoint base, or None if deposed. *)
+let recover (ctx : _ Cluster.ctx) r ~term =
+  let cfg = r.cfg in
+  let m = ctx.Cluster.cluster_m in
+  let quorum = quorum_of ctx cfg in
+  let n = ctx.Cluster.cluster_n in
+  let client = ctx.Cluster.client in
+  let regs =
+    ckpt_reg :: commit_reg :: lease_reg
+    :: List.init cfg.max_entries (fun i -> entry_reg (i + 1))
+  in
+  let chains = Array.init m (fun _ -> Ivar.create ()) in
+  for i = 0 to m - 1 do
+    ctx.Cluster.spawn_sub
+      (Printf.sprintf "velos.recover%d" i)
+      (fun () ->
+        let (_ : Memory.op_result) =
+          Memclient.change_permission client ~mem:i ~region
+            ~perm:(Permission.exclusive_writer ~writer:r.pid ~n)
+        in
+        match
+          Ivar.await
+            (Memory.read_many_async (Memclient.mem client i) ~from:r.pid ~region
+               ~regs)
+        with
+        | Memory.Read_many values -> Ivar.fill chains.(i) (Some values)
+        | Memory.Read_many_nak -> Ivar.fill chains.(i) None)
+  done;
+  (* Gather a quorum of successful chains, tolerating naks (restarted
+     memories answer "I don't know"); give up once even all-but-failed
+     cannot reach a quorum. *)
+  let rec gather k =
+    if k > m then None
+    else begin
+      let completed = Par.await_k chains k in
+      let failed =
+        List.filter_map (fun (i, v) -> if v = None then Some i else None) completed
+      in
+      let ok =
+        List.filter_map (fun (i, v) -> Option.map (fun vs -> (i, vs)) v) completed
+      in
+      if List.length ok >= quorum then Some (ok, failed)
+      else gather (quorum + List.length failed)
+    end
+  in
+  match gather quorum with
+  | None -> None
+  | Some (ok, failed) ->
+      (* Adopt max checkpoint, max watermark, max lease expiry. *)
+      let base = ref 0 in
+      let base_entries = ref [] in
+      let floor = ref 0 in
+      let lease_until = ref 0.0 in
+      List.iter
+        (fun (_, values) ->
+          if Array.length values >= 3 then begin
+            (match Option.bind values.(0) decode_ckpt with
+            | Some (up_to, entries) when up_to > !base ->
+                base := up_to;
+                base_entries := entries
+            | _ -> ());
+            (match Option.bind values.(1) Codec.int_of_field with
+            | Some w when w > !floor -> floor := w
+            | _ -> ());
+            match Option.bind values.(2) decode_lease with
+            | Some (_, until) when until > !lease_until -> lease_until := until
+            | _ -> ()
+          end)
+        ok;
+      let base = !base in
+      (* Per-slot max-term adoption above the checkpoint. *)
+      let adopted = Array.make cfg.max_entries None in
+      List.iter
+        (fun (_, values) ->
+          Array.iteri
+            (fun j v ->
+              if j > 2 then begin
+                let idx = j - 3 in
+                if idx >= base then
+                  match Option.bind v decode_entry with
+                  | None -> ()
+                  | Some (t, stored) -> (
+                      match adopted.(idx) with
+                      | Some (t0, _) when t0 >= t -> ()
+                      | _ -> adopted.(idx) <- Some (t, stored))
+              end)
+            values)
+        ok;
+      let tail = ref [] in
+      (try
+         for idx = base to cfg.max_entries - 1 do
+           match adopted.(idx) with
+           | Some (_, stored) -> tail := (idx + 1, stored) :: !tail
+           | None -> raise Exit
+         done
+       with Exit -> ());
+      let tail = List.rev !tail in
+      let prefix_len = base + List.length tail in
+      (* The adopted dense prefix must cover the adopted watermark: the
+         read quorum intersects the write quorum of every committed
+         entry, so this only fails if the region was corrupted. *)
+      let deposed = ref (prefix_len < !floor) in
+      if base > 0 && not !deposed then begin
+        let writes =
+          Memclient.write_all_async client ~region ~reg:ckpt_reg
+            (encode_ckpt ~up_to:base ~entries:!base_entries)
+        in
+        if not (all_acked writes quorum) then deposed := true
+      end;
+      List.iter
+        (fun (index, stored) ->
+          if not !deposed then begin
+            let writes =
+              Memclient.write_all_async client ~region ~reg:(entry_reg index)
+                (encode_entry ~term ~cmd:stored)
+            in
+            if not (all_acked writes quorum) then deposed := true
+          end)
+        tail;
+      if !deposed then None
+      else begin
+        (* Everything rewritten all-ack under our term is decided:
+           republish the watermark over the whole dense prefix.  The
+           fence orders the watermark after the rewrites in every QP
+           stream (a no-op under Strict). *)
+        ignore (Memclient.fence_all_async client : Memory.op_result Ivar.t array);
+        let writes =
+          Memclient.write_all_async client ~region ~reg:commit_reg
+            (Codec.int_field prefix_len)
+        in
+        if
+          (not (all_acked writes quorum))
+          [@simlint.allow
+            "F1 watermark republish commit point: an acked write may lag \
+             its application, but every reader that could contradict it \
+             (follower poll, successor recovery) reads either behind the \
+             fenced watermark or after a permission swap that drains this \
+             QP"]
+        then None
+        else begin
+          (* Wait out every lease that could still be valid BEFORE
+             serving reads or acking appends: on the shared virtual
+             clock this closes the stale-read window exactly. *)
+          let now = Engine.now ctx.Cluster.ctx_engine in
+          if !lease_until > now then begin
+            Stats.bump ctx.Cluster.ctx_stats "velos.lease.waits";
+            Engine.sleep (!lease_until -. now)
+          end;
+          List.iter
+            (fun mid ->
+              spawn_repair ctx r ~term ~until:!lease_until ~up_to:base
+                ~entries:!base_entries ~tail ~committed:prefix_len mid)
+            failed;
+          let prefix =
+            List.mapi (fun i stored -> (i + 1, stored)) !base_entries @ tail
+          in
+          Some (prefix, base)
+        end
+      end
+
+let leader_loop (ctx : _ Cluster.ctx) r =
+  let ep = ctx.Cluster.ep in
+  let client = ctx.Cluster.client in
+  let m = ctx.Cluster.cluster_m in
+  let terms = ref 0 in
+  let continue = ref true in
+  while !continue && not r.stopped do
+    Omega.wait_until_leader ctx.Cluster.ctx_omega ~me:r.pid;
+    if r.stopped || Engine.now ctx.Cluster.ctx_engine >= r.cfg.serve_until then
+      continue := false
+    else begin
+      incr terms;
+      if !terms > r.cfg.max_terms then continue := false
+      else begin
+        let term = (!terms * r.cfg.replicas) + r.pid + 1 in
+        r.current_term <- term;
+        let quorum = quorum_of ctx r.cfg in
+        (* First reign of the initial leader at t=0: permissions are at
+           their creation values and the region is empty — skip
+           recovery. *)
+        let recovered =
+          if r.pid = 0 && !terms = 1 && Engine.now ctx.Cluster.ctx_engine = 0.0
+          then Some ([], 0)
+          else recover ctx r ~term
+        in
+        match recovered with
+        | None -> () (* deposed during recovery; wait for Ω again *)
+        | Some (prefix, ckpt_base) ->
+            List.iter (fun f -> f ~term) r.recover_subs;
+            (* Rebuild duplicate suppression + the stored log, and apply
+               the recovered prefix locally. *)
+            let dedup = Hashtbl.create 32 in
+            let stored = Hashtbl.create 64 in
+            let ckpt_up_to = ref ckpt_base in
+            List.iter
+              (fun (index, stored_v) ->
+                Hashtbl.replace stored index stored_v;
+                (match decode_cmd_meta stored_v with
+                | Some (client_pid, seq, _) ->
+                    Hashtbl.replace dedup (client_pid, seq) index
+                | None -> ());
+                apply_stored r ~index stored_v)
+              prefix;
+            let next = ref (List.length prefix + 1) in
+            (* Watermark already published by recovery (or 0 at t=0). *)
+            let published = ref (List.length prefix) in
+            let leased_until = ref 0.0 in
+            let deposed = ref false in
+            (* Quorum-acked lease refresh; with lease_duration = 0. it
+               degenerates into the reign proof every read pays. *)
+            let refresh_lease () =
+              let until =
+                Engine.now ctx.Cluster.ctx_engine +. r.cfg.lease_duration
+              in
+              let writes =
+                Memclient.write_all_async client ~region ~reg:lease_reg
+                  (encode_lease ~term ~until)
+              in
+              if all_acked writes quorum then begin
+                leased_until := until;
+                true
+              end
+              else begin
+                deposed := true;
+                false
+              end
+            in
+            (* Establish the lease before the first read can arrive, so
+               a leased reign never pays a per-read round at all. *)
+            if r.cfg.lease_duration > 0.0 then ignore (refresh_lease ());
+            let publish_watermark w =
+              ignore
+                (Memclient.fence_all_async client : Memory.op_result Ivar.t array);
+              let writes =
+                Memclient.write_all_async client ~region ~reg:commit_reg
+                  (Codec.int_field w)
+              in
+              if all_acked writes quorum then published := w else deposed := true
+            in
+            let maybe_checkpoint () =
+              if
+                r.cfg.checkpoint_every > 0
+                && !next - 1 >= !ckpt_up_to + r.cfg.checkpoint_every
+              then begin
+                let up_to = !next - 1 in
+                if !published < up_to then publish_watermark up_to;
+                if not !deposed then begin
+                  let entries =
+                    List.init up_to (fun i -> Hashtbl.find stored (i + 1))
+                  in
+                  let writes =
+                    Memclient.write_all_async client ~region ~reg:ckpt_reg
+                      (encode_ckpt ~up_to ~entries)
+                  in
+                  if all_acked writes quorum then begin
+                    let nones =
+                      List.init up_to (fun i -> (entry_reg (i + 1), None))
+                    in
+                    let truncs =
+                      Array.init m (fun i ->
+                          Memory.write_many_async (Memclient.mem client i)
+                            ~from:r.pid ~region ~values:nones)
+                    in
+                    ignore (Par.await_k truncs quorum);
+                    ckpt_up_to := up_to;
+                    Stats.bump ctx.Cluster.ctx_stats "velos.checkpoints"
+                  end
+                  else deposed := true
+                end
+              end
+            in
+            let serve_rejoins () =
+              match Mailbox.drain r.rejoin with
+              | [] -> ()
+              | mids ->
+                  (* Reign proof before a state transfer (all-ack means
+                     we still hold the permission on a quorum).  On a
+                     nak the nak may be the restarted memory itself, not
+                     a rival — requeue the mids so the next reign (ours
+                     or a rival's) still serves the transfer. *)
+                  if not (refresh_lease ()) then
+                    List.iter (Mailbox.send r.rejoin) mids
+                  else begin
+                    let entries =
+                      List.init !ckpt_up_to (fun i -> Hashtbl.find stored (i + 1))
+                    in
+                    let tail =
+                      List.init
+                        (!next - 1 - !ckpt_up_to)
+                        (fun i ->
+                          let index = !ckpt_up_to + i + 1 in
+                          (index, Hashtbl.find stored index))
+                    in
+                    List.iter
+                      (fun mid ->
+                        spawn_repair ctx r ~term ~until:!leased_until
+                          ~up_to:!ckpt_up_to ~entries ~tail ~committed:(!next - 1)
+                          mid)
+                      (List.sort_uniq compare mids)
+                  end
+            in
+            let reply_read (client_pid, seq) =
+              Network.send ep ~dst:client_pid
+                (encode_msg
+                   (Read_reply { client = client_pid; seq; up_to = r.applied_up_to }))
+            in
+            let serve_reads () =
+              match Mailbox.drain r.reads with
+              | [] -> ()
+              | readers ->
+                  if r.cfg.lease_violation then begin
+                    (* TEST FIXTURE: skip every validity check. *)
+                    Stats.bump ctx.Cluster.ctx_stats "velos.reads.stale";
+                    List.iter reply_read readers
+                  end
+                  else if
+                    r.cfg.lease_duration > 0.0
+                    && Engine.now ctx.Cluster.ctx_engine < !leased_until
+                  then
+                    (* The headline path: a leased read is served from
+                       local state with ZERO memory operations.  The
+                       explicit 0-bump pins the counter row in the
+                       deterministic perf plane so the baseline gate
+                       would catch any op leaking into this scope. *)
+                    Prof.scope "velos.read.leased" (fun () ->
+                        Prof.bump "mem.ops.issued" 0;
+                        Prof.bump "smr.reads.leased" (List.length readers);
+                        Stats.bump ctx.Cluster.ctx_stats "velos.reads.leased";
+                        List.iter reply_read readers)
+                  else
+                    Prof.scope "velos.read.quorum" (fun () ->
+                        Stats.bump ctx.Cluster.ctx_stats "velos.reads.quorum";
+                        if refresh_lease () then List.iter reply_read readers)
+            in
+            let append (client_pid, seq, cmd) =
+              match Hashtbl.find_opt dedup (client_pid, seq) with
+              | Some index ->
+                  Network.send ep ~dst:client_pid
+                    (encode_msg (Ack { client = client_pid; seq; index }))
+              | None ->
+                  if !next > r.cfg.max_entries then deposed := true
+                  else begin
+                    let index = !next in
+                    let meta = encode_cmd_meta ~client:client_pid ~seq ~cmd in
+                    (* ONE batched write per memory: the new entry plus
+                       the watermark covering the previous one (free
+                       commit notification for the pollers).  The fence
+                       keeps the batch behind its predecessor in every
+                       QP stream, so a reordered watermark can never
+                       overtake the entry it covers. *)
+                    ignore
+                      (Memclient.fence_all_async client
+                        : Memory.op_result Ivar.t array);
+                    let values =
+                      [
+                        (entry_reg index, Some (encode_entry ~term ~cmd:meta));
+                        (commit_reg, Some (Codec.int_field (index - 1)));
+                      ]
+                    in
+                    let writes =
+                      Array.init m (fun i ->
+                          Memory.write_many_async (Memclient.mem client i)
+                            ~from:r.pid ~region ~values)
+                    in
+                    if
+                      (all_acked writes quorum)
+                      [@simlint.allow
+                        "F1 append commit point: the quorum all-ack decides \
+                         the entry; a rival that could read it stale first \
+                         swaps permissions (draining this QP), and follower \
+                         polls only trust entries behind the fenced \
+                         watermark"]
+                    then begin
+                      incr next;
+                      published := index - 1;
+                      Hashtbl.replace dedup (client_pid, seq) index;
+                      Hashtbl.replace stored index meta;
+                      apply_entry r ~index ~cmd;
+                      Stats.bump ctx.Cluster.ctx_stats "velos.appends";
+                      Network.send ep ~dst:client_pid
+                        (encode_msg (Ack { client = client_pid; seq; index }));
+                      maybe_checkpoint ()
+                    end
+                    else deposed := true
+                  end
+            in
+            while
+              (not !deposed) && (not r.stopped)
+              && Engine.now ctx.Cluster.ctx_engine < r.cfg.serve_until
+              && Omega.leader ctx.Cluster.ctx_omega = r.pid
+            do
+              serve_rejoins ();
+              serve_reads ();
+              match Mailbox.recv_timeout r.requests 4.0 with
+              | Some req -> append req
+              | None ->
+                  (* Idle: flush the watermark so pollers converge on
+                     the final entry without waiting for a next append. *)
+                  if (not !deposed) && !published < !next - 1 then
+                    publish_watermark (!next - 1)
+            done;
+            (* TEST FIXTURE: a lease-violating leader ignores its own
+               deposition and keeps serving local reads — exactly the
+               stale-lease bug the chaos oracle must flag as an
+               Agreement violation via the clients' watermark check. *)
+            if r.cfg.lease_violation && (not r.stopped) && not r.zombie then begin
+              r.zombie <- true;
+              ctx.Cluster.spawn_sub "velos.zombie" (fun () ->
+                  while
+                    (not r.stopped)
+                    && Engine.now ctx.Cluster.ctx_engine < r.cfg.serve_until
+                  do
+                    (match Mailbox.drain r.reads with
+                    | [] -> ()
+                    | readers ->
+                        Stats.bump ctx.Cluster.ctx_stats "velos.reads.stale";
+                        List.iter reply_read readers);
+                    Engine.sleep 2.0
+                  done)
+            end
+      end
+    end
+  done
+
+let spawn_replica cluster ?(cfg = default_config) ~pid () =
+  let r =
+    {
+      pid;
+      cfg;
+      applied = Queue.create ();
+      applied_up_to = 0;
+      current_term = 0;
+      stopped = false;
+      subscribed = false;
+      zombie = false;
+      requests = Mailbox.create ();
+      reads = Mailbox.create ();
+      rejoin = Mailbox.create ();
+      commit_subs = [];
+      recover_subs = [];
+    }
+  in
+  Cluster.spawn cluster ~pid (fun ctx ->
+      (* A (re)started replica begins from nothing — there is no
+         snapshot protocol to rejoin through: the poll loop rebuilds
+         the applied prefix from replica memory, one-sidedly. *)
+      Queue.clear r.applied;
+      r.applied_up_to <- 0;
+      r.current_term <- 0;
+      r.stopped <- false;
+      r.zombie <- false;
+      ignore (Mailbox.drain r.requests);
+      ignore (Mailbox.drain r.reads);
+      if not r.subscribed then begin
+        r.subscribed <- true;
+        Obs.subscribe ctx.Cluster.ctx_obs (fun ~at:_ ~actor:_ ev ->
+            match (ev : Event.t) with
+            | Event.Mem_restart { mid; _ } -> Mailbox.send r.rejoin mid
+            | _ -> ())
+      end;
+      ctx.Cluster.spawn_sub "velos.pump" (fun () ->
+          while not r.stopped do
+            let _from, payload = Network.recv ctx.Cluster.ep in
+            match decode_msg payload with
+            | Some (Request { client; seq; cmd }) ->
+                Mailbox.send r.requests (client, seq, cmd)
+            | Some (Read_request { client; seq }) ->
+                Mailbox.send r.reads (client, seq)
+            | Some (Ack _) | Some (Read_reply _) | None -> ()
+          done);
+      ctx.Cluster.spawn_sub "velos.poll" (fun () -> poll_loop ctx r);
+      leader_loop ctx r);
+  r
+
+let stop r = r.stopped <- true
+
+(* {2 Clients} — same protocol shape as the PMP log: route to the Ω
+   leader, await the matching reply, retry on timeout. *)
+
+let read_destination (ctx : _ Cluster.ctx) cfg =
+  (* TEST FIXTURE: with the stale-lease bug armed, clients keep asking
+     the initial leader, so the zombie's stale answers actually reach
+     them. *)
+  if cfg.lease_violation then 0
+  else min (Omega.leader ctx.Cluster.ctx_omega) (cfg.replicas - 1)
+
+let linearizable_read (ctx : _ Cluster.ctx) ~cfg ~seq ~timeout =
+  let me = ctx.Cluster.pid in
+  let deadline = Engine.now ctx.Cluster.ctx_engine +. timeout in
+  let rec attempt () =
+    if Engine.now ctx.Cluster.ctx_engine >= deadline then None
+    else begin
+      Network.send ctx.Cluster.ep ~dst:(read_destination ctx cfg)
+        (encode_msg (Read_request { client = me; seq }));
+      let rec await () =
+        let remaining = deadline -. Engine.now ctx.Cluster.ctx_engine in
+        let wait = min 20.0 remaining in
+        if wait <= 0. then None
+        else
+          match Network.recv_timeout ctx.Cluster.ep wait with
+          | None -> attempt ()
+          | Some (_, payload) -> (
+              match decode_msg payload with
+              | Some (Read_reply { client; seq = s; up_to })
+                when client = me && s = seq ->
+                  Some up_to
+              | Some (Read_reply _ | Request _ | Ack _ | Read_request _) | None ->
+                  await ())
+      in
+      await ()
+    end
+  in
+  attempt ()
+
+let submit (ctx : _ Cluster.ctx) ~cfg ~seq ~cmd ~timeout =
+  let me = ctx.Cluster.pid in
+  let deadline = Engine.now ctx.Cluster.ctx_engine +. timeout in
+  let rec attempt () =
+    if Engine.now ctx.Cluster.ctx_engine >= deadline then None
+    else begin
+      let leader = min (Omega.leader ctx.Cluster.ctx_omega) (cfg.replicas - 1) in
+      Network.send ctx.Cluster.ep ~dst:leader
+        (encode_msg (Request { client = me; seq; cmd }));
+      let rec await () =
+        let remaining = deadline -. Engine.now ctx.Cluster.ctx_engine in
+        let wait = min 20.0 remaining in
+        if wait <= 0. then None
+        else
+          match Network.recv_timeout ctx.Cluster.ep wait with
+          | None -> attempt ()
+          | Some (_, payload) -> (
+              match decode_msg payload with
+              | Some (Ack { client; seq = s; index }) when client = me && s = seq
+                ->
+                  Some index
+              | Some (Ack _ | Request _ | Read_request _ | Read_reply _) | None ->
+                  await ())
+      in
+      await ()
+    end
+  in
+  attempt ()

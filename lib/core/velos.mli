@@ -1,0 +1,121 @@
+(** Velos-style one-sided Paxos (cf. arXiv:2106.08676): passive memory
+    replicas, leader commits by batched one-sided writes carrying a
+    commit watermark, followers learn by polling a quorum of memories,
+    failover swaps write permission and reconstructs state from replica
+    memory, and leader leases on virtual time make a leased
+    linearizable read cost {e zero} memory operations.
+
+    See the implementation header for the watermark and lease safety
+    arguments; DESIGN.md §14 has the engine-level comparison with the
+    PMP log. *)
+
+open Rdma_mm
+open Rdma_mem
+
+val region : string
+
+val entry_reg : int -> string
+
+(** Commit watermark register: the highest index whose entry write was
+    all-acked by a write quorum before the watermark was published.  A
+    fence precedes every watermark write, so any memory with watermark
+    [w] applied also applied entries [1..w] — a follower can adopt one
+    reply wholesale. *)
+val commit_reg : string
+
+val ckpt_reg : string
+
+(** Lease register: [(term, expiry)] on the shared virtual clock.
+    Doubles as the permission-protected reign proof. *)
+val lease_reg : string
+
+type config = {
+  replicas : int;  (** replicas are processes [0 .. replicas-1] *)
+  max_entries : int;
+  f_m : int option;
+  max_terms : int;
+  serve_until : float;
+  checkpoint_every : int;  (** [0] disables checkpointing *)
+  poll_every : float;
+      (** follower poll interval — the passive-learning cadence *)
+  lease_duration : float;
+      (** [> 0.]: reads under a valid quorum-acked lease cost 0 memory
+          ops; [0.] disables leases (every read pays a quorum round) *)
+  lease_violation : bool;
+      (** TEST FIXTURE ONLY: keep serving local reads after deposition
+          — the stale-lease bug the chaos oracle must catch *)
+}
+
+val default_config : config
+
+val encode_entry : term:int -> cmd:string -> string
+
+val decode_entry : string -> (int * string) option
+
+val encode_cmd_meta : client:int -> seq:int -> cmd:string -> string
+
+val decode_cmd_meta : string -> (int * int * string) option
+
+val encode_ckpt : up_to:int -> entries:string list -> string
+
+val decode_ckpt : string -> (int * string list) option
+
+val encode_lease : term:int -> until:float -> string
+
+val decode_lease : string -> (int * float) option
+
+(** Client messages only: there is no replica-to-replica traffic — the
+    one-sided point of the protocol. *)
+type msg =
+  | Request of { client : int; seq : int; cmd : string }
+  | Ack of { client : int; seq : int; index : int }
+  | Read_request of { client : int; seq : int }
+  | Read_reply of { client : int; seq : int; up_to : int }
+
+val encode_msg : msg -> string
+
+val decode_msg : string -> msg option
+
+(** Only replicas may take the region's exclusive write permission. *)
+val legal_change : config -> Permission.legal_change
+
+val setup_regions : 'm Cluster.t -> config -> unit
+
+type replica
+
+(** Applied entries, oldest first, as [(index, command)]. *)
+val applied_entries : replica -> (int * string) list
+
+val applied_count : replica -> int
+
+(** The term of the replica's current (or last) reign; [0] before any. *)
+val current_term : replica -> int
+
+(** Commit-stream notification, fired for every applied entry; [f] must
+    not suspend. *)
+val on_commit : replica -> (index:int -> cmd:string -> unit) -> unit
+
+(** Recovery notification: fired once a reign's recovery (permission
+    swap + state reconstruction + rewrite + lease wait) completed; [f]
+    must not suspend. *)
+val on_recover : replica -> (term:int -> unit) -> unit
+
+val spawn_replica : string Cluster.t -> ?cfg:config -> pid:int -> unit -> replica
+
+val stop : replica -> unit
+
+(** Submit a command from a client process (pid ≥ replicas): sends to
+    the Ω leader, awaits the ack, retries on timeout.  Returns the
+    committed index, or [None] if [timeout] elapsed. *)
+val submit :
+  string Cluster.ctx -> cfg:config -> seq:int -> cmd:string -> timeout:float -> int option
+[@@sim.yields]
+
+(** Linearizable read: a leader holding a valid lease answers from
+    local state with 0 memory ops (profiled under the
+    ["velos.read.leased"] scope); otherwise it refreshes the lease with
+    one quorum-acked write first.  Returns the applied index, or
+    [None] on timeout. *)
+val linearizable_read :
+  string Cluster.ctx -> cfg:config -> seq:int -> timeout:float -> int option
+[@@sim.yields]

@@ -2,20 +2,32 @@
 
    [recv] blocks until a message is available.  Delivery order is the
    order of [send] calls, which the deterministic engine makes
-   reproducible. *)
+   reproducible.
+
+   Waiters are cancel-aware: a fiber that crashes (is cancelled) while
+   blocked in [recv] leaves a dead waiter behind, and [send] must not
+   hand it the message — resuming a cancelled fiber discards the value,
+   so a restarted receiver queued behind the corpse would silently lose
+   the first message sent after the restart (and, for in-order
+   consumers like the SMR applier, everything after the gap). *)
+
+type 'a waiter = { mutable deliver : ('a -> unit) option }
+(* [None] = the waiting fiber was cancelled, timed out, or was served. *)
 
 type 'a t = {
   messages : 'a Queue.t;
-  waiters : ('a -> unit) Queue.t;
+  waiters : 'a waiter Queue.t;
 }
 
 let create () = { messages = Queue.create (); waiters = Queue.create () }
 
-let send t msg =
-  if Queue.is_empty t.waiters then Queue.push msg t.messages
-  else
-    let waiter = Queue.pop t.waiters in
-    waiter msg
+let rec send t msg =
+  match Queue.take_opt t.waiters with
+  | None -> Queue.push msg t.messages
+  | Some { deliver = None } -> send t msg (* dead waiter: skip it *)
+  | Some ({ deliver = Some k } as w) ->
+      w.deliver <- None;
+      k msg
 
 let length t = Queue.length t.messages
 
@@ -24,29 +36,37 @@ let is_empty t = Queue.is_empty t.messages
 let recv t =
   if not (Queue.is_empty t.messages) then Queue.pop t.messages
   else
-    Engine.suspend (fun _eng _fiber resume -> Queue.push resume t.waiters)
+    Engine.suspend (fun _eng fiber resume ->
+        let dereg = ref (fun () -> ()) in
+        let w = { deliver = None } in
+        w.deliver <-
+          Some
+            (fun msg ->
+              !dereg ();
+              resume msg);
+        dereg := Engine.on_cancel fiber (fun () -> w.deliver <- None);
+        Queue.push w t.waiters)
 
 let recv_timeout t delay =
   if not (Queue.is_empty t.messages) then Some (Queue.pop t.messages)
   else
-    Engine.suspend (fun eng _fiber resume ->
-        let settled = ref false in
-        Queue.push
-          (fun msg ->
-            if !settled then
-              (* Timed out before the message arrived: put it back for the
-                 next receiver instead of dropping it. *)
-              send t msg
-            else begin
-              settled := true;
-              resume (Some msg)
-            end)
-          t.waiters;
+    Engine.suspend (fun eng fiber resume ->
+        let dereg = ref (fun () -> ()) in
+        let w = { deliver = None } in
+        w.deliver <-
+          Some
+            (fun msg ->
+              !dereg ();
+              resume (Some msg));
+        dereg := Engine.on_cancel fiber (fun () -> w.deliver <- None);
+        Queue.push w t.waiters;
         Engine.schedule eng delay (fun () ->
-            if not !settled then begin
-              settled := true;
-              resume None
-            end))
+            match w.deliver with
+            | None -> () (* delivered, or the fiber was cancelled *)
+            | Some _ ->
+                w.deliver <- None;
+                !dereg ();
+                resume None))
 
 (* Drain without blocking. *)
 let drain t =

@@ -1,0 +1,14 @@
+(** The consensus-engine registry — one static list every consumer
+    (CLI [--engine] flags, [list-engines], chaos scenario generation,
+    the bench harness) enumerates, so a future engine drops in by
+    adding one line to {!all}. *)
+
+val all : Consensus_engine.engine list
+
+(** Engine names in registry order (["pmp"; "velos"]). *)
+val names : string list
+
+val find : string -> Consensus_engine.engine option
+
+(** Like {!find} but raises [Invalid_argument] with the known names. *)
+val get : string -> Consensus_engine.engine

@@ -1,0 +1,19 @@
+(** One-shot SMR driver behind [rdma_agreement run smr]: [n] replicas of
+    the chosen engine plus one closed-loop client submitting [inputs] in
+    order.  Replicas decide their joined applied logs; the client decides
+    the join of its inputs once all are acked — agreement across them
+    checks the engine end to end under the CLI fault schedule. *)
+
+val default_cfg : replicas:int -> Consensus_engine.config
+
+val run :
+  engine:Consensus_engine.engine ->
+  ?cfg:Consensus_engine.config ->
+  seed:int ->
+  n:int ->
+  m:int ->
+  inputs:string array ->
+  faults:Rdma_consensus.Fault.t list ->
+  prepare:(string Rdma_mm.Cluster.t -> unit) ->
+  unit ->
+  Rdma_consensus.Report.t

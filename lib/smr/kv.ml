@@ -39,3 +39,12 @@ let of_log entries =
 
 let bindings t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [] |> List.sort compare
+
+(* Engine-agnostic hookups: materialize from, or live-follow, a packed
+   replica of ANY consensus engine. *)
+let of_replica run = of_log (Consensus_engine.applied run)
+
+let attach run =
+  let t = of_log (Consensus_engine.applied run) in
+  Consensus_engine.on_commit run (fun ~index:_ ~cmd -> apply_encoded t cmd);
+  t

@@ -23,3 +23,10 @@ val size : t -> int
 val of_log : (int * string) list -> t
 
 val bindings : t -> (string * string) list
+
+(** Materialize from a packed replica of any engine. *)
+val of_replica : Consensus_engine.running -> t
+
+(** Live-following store: seeded from the replica's applied log, then
+    kept current from its commit stream ({!Consensus_engine.on_commit}). *)
+val attach : Consensus_engine.running -> t

@@ -88,3 +88,11 @@ let of_log entries =
   let t = create () in
   List.iter (fun (_, cmd) -> apply_encoded t cmd) entries;
   t
+
+(* Engine-agnostic hookups, as in {!Kv}. *)
+let of_replica run = of_log (Consensus_engine.applied run)
+
+let attach run =
+  let t = of_log (Consensus_engine.applied run) in
+  Consensus_engine.on_commit run (fun ~index:_ ~cmd -> apply_encoded t cmd);
+  t

@@ -29,3 +29,10 @@ val grant_history : t -> (string * string * int) list
 
 (** Materialize from a replica's applied log. *)
 val of_log : (int * string) list -> t
+
+(** Materialize from a packed replica of any engine. *)
+val of_replica : Consensus_engine.running -> t
+
+(** Live-following service: seeded from the applied log, then kept
+    current from the commit stream ({!Consensus_engine.on_commit}). *)
+val attach : Consensus_engine.running -> t

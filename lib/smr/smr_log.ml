@@ -119,7 +119,11 @@ let decode_msg s =
       Option.map (fun up_to -> Snapshot { up_to; entries }) (Codec.int_of_field u)
   | _ -> None
 
-type config = {
+(* The engine-shared configuration record (re-exported so existing
+   [Smr_log.config] users compile unchanged).  The lease knobs are
+   velos-specific and ignored here; [anti_entropy_every = 0.] (the
+   default) preserves this engine's pre-refactor behaviour exactly. *)
+type config = Consensus_engine.config = {
   replicas : int; (* replicas are processes 0 .. replicas-1 *)
   max_entries : int;
   f_m : int option;
@@ -130,11 +134,22 @@ type config = {
   checkpoint_every : int;
       (* write a checkpoint (and truncate the log below it) every this
          many committed entries; 0 disables checkpointing *)
+  anti_entropy_every : float;
+      (* > 0.: every follower periodically asks the leader for a
+         snapshot when its apply stream stalls, so commits missed during
+         a partition are healed; 0. = pre-refactor behaviour (only
+         restarted replicas catch up) *)
+  lease_duration : float; (* velos-only; ignored here *)
+  lease_violation : bool; (* velos-only; ignored here *)
 }
 
-let default_config =
-  { replicas = 3; max_entries = 64; f_m = None; max_terms = 32;
-    serve_until = 2000.0; checkpoint_every = 0 }
+let name = "pmp"
+
+let descr =
+  "Mu-style log on Protected Memory Paxos: permission-switched leader, \
+   1 replicated write per append, quorum lease write per read"
+
+let default_config = Consensus_engine.default_config
 
 (* Only replicas may take the log's exclusive write permission. *)
 let legal_change cfg : Permission.legal_change =
@@ -167,6 +182,8 @@ type replica = {
   reads : (int * int) Mailbox.t; (* client, seq *)
   rejoin : int Mailbox.t; (* restarted memories awaiting state transfer *)
   catchups : int Mailbox.t; (* restarted replicas awaiting a snapshot *)
+  mutable commit_subs : (index:int -> cmd:string -> unit) list;
+  mutable recover_subs : (term:int -> unit) list;
 }
 
 let applied_entries r =
@@ -174,10 +191,17 @@ let applied_entries r =
 
 let applied_count r = r.applied_up_to
 
+let current_term r = r.current_term
+
+let on_commit r f = r.commit_subs <- f :: r.commit_subs
+
+let on_recover r f = r.recover_subs <- f :: r.recover_subs
+
 let apply_entry r ~index ~cmd =
   if index = r.applied_up_to + 1 then begin
     Queue.push (index, cmd) r.applied;
-    r.applied_up_to <- index
+    r.applied_up_to <- index;
+    List.iter (fun f -> f ~index ~cmd) r.commit_subs
   end
 
 (* Route incoming messages by role. *)
@@ -457,6 +481,7 @@ let leader_loop (ctx : _ Cluster.ctx) r =
         | None -> () (* deposed during recovery; wait for Ω again *)
         | Some (prefix, ckpt_base) ->
             r.caught_up <- true;
+            List.iter (fun f -> f ~term) r.recover_subs;
             (* Rebuild duplicate suppression from the log, then apply and
                announce the recovered prefix (stripped of metadata).
                [stored] keeps the full committed log (including entries
@@ -525,15 +550,22 @@ let leader_loop (ctx : _ Cluster.ctx) r =
                      committed entry is ours or was adopted by our
                      recovery — the transfer cannot mask an entry a
                      newer-term leader committed.  On any nak we are
-                     deposed; the rival heard the same Mem_restart events
-                     on its own rejoin mailbox and serves them itself. *)
+                     deposed — but the nak may be the restarted memory
+                     itself (fresh epoch), not a rival, so the drained
+                     mids go BACK on the mailbox: whoever leads next
+                     (possibly this replica, re-recovered under a higher
+                     term) must still serve the transfer.  A rival that
+                     heard the same Mem_restart events repairs twice;
+                     the transfer is stale-filtered, so that is safe. *)
                   let writes =
                     Memclient.write_all_async ctx.Cluster.client ~region
                       ~reg:lease_reg (Codec.int_field term)
                   in
                   let completed = Par.await_k writes quorum in
                   match List.for_all (fun (_, w) -> w = Memory.Ack) completed with
-                  | false -> deposed := true
+                  | false ->
+                      deposed := true;
+                      List.iter (Mailbox.send r.rejoin) mids
                   | true ->
                       let entries =
                         List.init !ckpt_up_to (fun i -> Hashtbl.find stored (i + 1))
@@ -576,19 +608,25 @@ let leader_loop (ctx : _ Cluster.ctx) r =
               (match Mailbox.drain r.reads with
               | [] -> ()
               | readers ->
-                  let writes =
-                    Memclient.write_all_async ctx.Cluster.client ~region
-                      ~reg:lease_reg (Codec.int_field term)
-                  in
-                  let completed = Par.await_k writes (m - f_m) in
-                  if List.for_all (fun (_, w) -> w = Memory.Ack) completed then
-                    List.iter
-                      (fun (client, seq) ->
-                        Network.send ep ~dst:client
-                          (encode_msg
-                             (Read_reply { client; seq; up_to = r.applied_up_to })))
-                      readers
-                  else deposed := true);
+                  Prof.scope "pmp.read.lease" (fun () ->
+                      Prof.bump "smr.reads.confirmed" (List.length readers);
+                      Stats.bump ctx.Cluster.ctx_stats "smr.reads.confirm";
+                      let writes =
+                        Memclient.write_all_async ctx.Cluster.client ~region
+                          ~reg:lease_reg (Codec.int_field term)
+                      in
+                      let completed = Par.await_k writes (m - f_m) in
+                      if
+                        List.for_all (fun (_, w) -> w = Memory.Ack) completed
+                      then
+                        List.iter
+                          (fun (client, seq) ->
+                            Network.send ep ~dst:client
+                              (encode_msg
+                                 (Read_reply
+                                    { client; seq; up_to = r.applied_up_to })))
+                          readers
+                      else deposed := true));
               match Mailbox.recv_timeout r.requests 4.0 with
               | None -> ()
               | Some (client_pid, seq, cmd) -> (
@@ -635,6 +673,8 @@ let spawn_replica cluster ?(cfg = default_config) ~pid () =
       reads = Mailbox.create ();
       rejoin = Mailbox.create ();
       catchups = Mailbox.create ();
+      commit_subs = [];
+      recover_subs = [];
     }
   in
   Cluster.spawn cluster ~pid (fun ctx ->
@@ -674,6 +714,28 @@ let spawn_replica cluster ?(cfg = default_config) ~pid () =
                 Network.send ctx.Cluster.ep ~dst:leader
                   (encode_msg (Catch_up { pid = r.pid }));
               Engine.sleep 25.0
+            done);
+      (* Anti-entropy (off by default): a follower whose apply stream
+         stalls — e.g. Commit broadcasts lost to a partition — asks the
+         leader for a snapshot, reusing the restart catch-up path.  The
+         guard keeps every steady-state run free of extra traffic: the
+         fiber only speaks up when no entry has applied for a whole
+         interval and it is not itself the leader. *)
+      if cfg.anti_entropy_every > 0.0 then
+        ctx.Cluster.spawn_sub "smr.anti-entropy" (fun () ->
+            let last = ref (-1) in
+            while
+              (not r.stopped) && Engine.now ctx.Cluster.ctx_engine < cfg.serve_until
+            do
+              Engine.sleep cfg.anti_entropy_every;
+              let leader =
+                min (Omega.leader ctx.Cluster.ctx_omega) (cfg.replicas - 1)
+              in
+              if (not r.stopped) && leader <> r.pid && r.applied_up_to = !last
+              then
+                Network.send ctx.Cluster.ep ~dst:leader
+                  (encode_msg (Catch_up { pid = r.pid }));
+              last := r.applied_up_to
             done);
       ctx.Cluster.spawn_sub "smr.pump" (fun () -> pump ctx r);
       ctx.Cluster.spawn_sub "smr.applier" (fun () -> applier r);

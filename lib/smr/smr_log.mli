@@ -6,6 +6,11 @@
 open Rdma_mm
 open Rdma_mem
 
+(** Engine identity (the ["pmp"] entry of {!Engines.all}). *)
+val name : string
+
+val descr : string
+
 val region : string
 
 val entry_reg : int -> string
@@ -46,16 +51,22 @@ val encode_msg : msg -> string
 
 val decode_msg : string -> msg option
 
-type config = {
-  replicas : int;  (** replicas are processes [0 .. replicas-1] *)
+(** The engine-shared configuration (see {!Consensus_engine.config} for
+    field docs), re-exported so existing [Smr_log.config] users compile
+    unchanged.  The lease knobs are velos-specific and ignored here;
+    [anti_entropy_every > 0.] additionally lets stalled followers
+    request snapshot catch-ups (off by default — pre-refactor
+    behaviour). *)
+type config = Consensus_engine.config = {
+  replicas : int;
   max_entries : int;
   f_m : int option;
   max_terms : int;
   serve_until : float;
-      (** virtual time at which replicas stop serving (so runs quiesce) *)
   checkpoint_every : int;
-      (** checkpoint (and truncate the log below) every this many
-          committed entries; [0] disables checkpointing *)
+  anti_entropy_every : float;
+  lease_duration : float;
+  lease_violation : bool;
 }
 
 val default_config : config
@@ -71,6 +82,17 @@ type replica
 val applied_entries : replica -> (int * string) list
 
 val applied_count : replica -> int
+
+(** The term of the replica's current (or last) reign; [0] before any. *)
+val current_term : replica -> int
+
+(** Commit-stream notification, fired on the applying fiber for every
+    entry this replica applies; [f] must not suspend. *)
+val on_commit : replica -> (index:int -> cmd:string -> unit) -> unit
+
+(** Recovery notification: fired once a reign's recovery completed and
+    this replica leads; [f] must not suspend. *)
+val on_recover : replica -> (term:int -> unit) -> unit
 
 val spawn_replica : string Cluster.t -> ?cfg:config -> pid:int -> unit -> replica
 

@@ -1,0 +1,59 @@
+(* The "velos" entry of {!Engines.all}: adapts {!Rdma_consensus.Velos}
+   (which keeps its own config record — lib/core cannot see lib/smr) to
+   the shared {!Consensus_engine.S} signature. *)
+
+open Rdma_consensus
+
+let name = "velos"
+
+let descr =
+  "One-sided Paxos on passive memory replicas: batched entry+watermark \
+   writes, follower polling, leader leases (a leased read = 0 memory ops)"
+
+let region = Velos.region
+
+(* [anti_entropy_every] is the shared "how eagerly do followers chase
+   missed commits" knob: for velos it IS the poll interval (0. = the
+   engine's default rate — polling cannot be turned off, it is the only
+   way followers learn). *)
+let to_velos (cfg : Consensus_engine.config) : Velos.config =
+  {
+    Velos.replicas = cfg.replicas;
+    max_entries = cfg.max_entries;
+    f_m = cfg.f_m;
+    max_terms = cfg.max_terms;
+    serve_until = cfg.serve_until;
+    checkpoint_every = cfg.checkpoint_every;
+    poll_every =
+      (if cfg.anti_entropy_every > 0.0 then cfg.anti_entropy_every
+       else Velos.default_config.Velos.poll_every);
+    lease_duration = cfg.lease_duration;
+    lease_violation = cfg.lease_violation;
+  }
+
+let legal_change cfg = Velos.legal_change (to_velos cfg)
+
+let setup_regions cluster cfg = Velos.setup_regions cluster (to_velos cfg)
+
+type replica = Velos.replica
+
+let spawn_replica cluster ?(cfg = Consensus_engine.default_config) ~pid () =
+  Velos.spawn_replica cluster ~cfg:(to_velos cfg) ~pid ()
+
+let applied_entries = Velos.applied_entries
+
+let applied_count = Velos.applied_count
+
+let current_term = Velos.current_term
+
+let on_commit = Velos.on_commit
+
+let on_recover = Velos.on_recover
+
+let stop = Velos.stop
+
+let submit ctx ~cfg ~seq ~cmd ~timeout =
+  Velos.submit ctx ~cfg:(to_velos cfg) ~seq ~cmd ~timeout
+
+let linearizable_read ctx ~cfg ~seq ~timeout =
+  Velos.linearizable_read ctx ~cfg:(to_velos cfg) ~seq ~timeout

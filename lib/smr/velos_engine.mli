@@ -1,0 +1,14 @@
+(** The ["velos"] consensus engine: {!Rdma_consensus.Velos} (one-sided
+    Paxos with passive memory replicas and leader leases on virtual
+    time) behind the shared {!Consensus_engine.S} signature.
+
+    Config mapping: [anti_entropy_every > 0.] becomes the follower poll
+    interval ([0.] means the engine's default rate — velos followers
+    always poll, it is their only way to learn); the lease knobs are
+    native here. *)
+
+include Consensus_engine.S
+
+(** The underlying engine-specific replica, for tests that assert on
+    velos internals. *)
+val to_velos : Consensus_engine.config -> Rdma_consensus.Velos.config

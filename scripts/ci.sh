@@ -115,12 +115,19 @@ echo "== perf observatory =="
 # the contract — any drift means the simulation did different work and
 # needs either a fix or an explicit baseline update in the diff.
 dune build tools/perfdiff/perfdiff.exe
-dune exec bench/main.exe -- d1 d2 --perf-out "$tmp/BENCH_<id>.json" \
+dune exec bench/main.exe -- d1 d2 v1 --perf-out "$tmp/BENCH_<id>.json" \
   > /dev/null
 dune exec tools/perfdiff/perfdiff.exe -- --ignore-timing \
   bench/baselines/BENCH_d1.json "$tmp/BENCH_d1.json"
 dune exec tools/perfdiff/perfdiff.exe -- --ignore-timing \
   bench/baselines/BENCH_d2.json "$tmp/BENCH_d2.json"
+# The v1 baseline additionally pins the lease economics of the engine
+# head-to-head: mem.ops.issued = 0 under the velos.read.leased scope
+# (leased reads never touch memory) vs 3 issued writes per
+# pmp.read.lease confirm round.  A regression that makes leased reads
+# pay memory ops shows up here as counter drift.
+dune exec tools/perfdiff/perfdiff.exe -- --ignore-timing \
+  bench/baselines/BENCH_v1.json "$tmp/BENCH_v1.json"
 
 # The gate must actually bite: inject counter drift into a copy of the
 # fresh snapshot and require perfdiff to exit nonzero on it.
@@ -180,6 +187,34 @@ dune exec bin/rdma_agreement.exe -- chaos replay "$tmp/repro-weak.json" \
   > "$tmp/replay-weak2.out" || true
 cmp "$tmp/replay-weak1.out" "$tmp/replay-weak2.out"
 echo "weak-mode repro replays deterministically"
+
+echo "== engine parity =="
+# The engine-agnostic SMR stack: every registered engine must hold all
+# chaos invariants across the same crash/recover schedules, with
+# byte-identical exploration under -j 1 and -j 4.
+for engine in pmp velos; do
+  dune exec bin/rdma_agreement.exe -- chaos explore "smr-$engine-recovery" \
+    --runs 25 --seed 1 -j 1 > "$tmp/ep-$engine-j1.out"
+  dune exec bin/rdma_agreement.exe -- chaos explore "smr-$engine-recovery" \
+    --runs 25 --seed 1 -j 4 > "$tmp/ep-$engine-j4.out"
+  cmp "$tmp/ep-$engine-j1.out" "$tmp/ep-$engine-j4.out"
+  cat "$tmp/ep-$engine-j1.out"
+done
+
+# The refactor that made the stack engine-parametric is
+# behaviour-preserving for pmp by construction, and must stay that way:
+# a fixed-seed run's full CLI output is pinned to a checked-in fixture.
+dune exec bin/rdma_agreement.exe -- run smr --engine pmp -n 3 -m 3 --seed 7 \
+  > "$tmp/smr-pmp.out"
+cmp test/fixtures/RUN_smr_pmp_seed7.out "$tmp/smr-pmp.out"
+echo "pmp fixed-seed output matches the pre-refactor fixture"
+
+# The lease oracle must actually bite: the deliberately broken
+# stale-lease fixture engine (serves local reads past deposition) has
+# to be flagged on every schedule (--expect-violations inverts exit).
+dune exec bin/rdma_agreement.exe -- chaos explore velos-stale-lease \
+  --runs 10 --seed 1 --expect-violations > /dev/null
+echo "stale-lease fixture caught by the oracle"
 
 echo "== recovery smoke test =="
 # Crash -> recover -> repair schedules: the nemesis pairs every crash
